@@ -1,0 +1,73 @@
+// Ablation study of the advanced framework's design choices (DESIGN.md §5,
+// not a paper table — it quantifies the paper's architectural arguments):
+//   1. GCNN factorization stage    (Sec. V-A)   vs FC factorization
+//   2. CNRNN forecasting           (Sec. V-B)   vs plain GRU
+//   3. cluster-ordered pooling     (Sec. V-A-2) vs ascending-id pooling
+//   4. Dirichlet-norm regularizer  (Eq. 11)     vs Frobenius norm
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace odf::bench {
+namespace {
+
+void Run() {
+  const Scale scale = Scale::FromEnv();
+  const World world = BuildNyc(scale);
+  const int64_t history = 6;
+  const int64_t horizon = 1;
+  ForecastDataset dataset(&world.series, history, horizon);
+  const auto split = dataset.ChronologicalSplit(0.7, 0.1);
+  const TrainConfig train = scale.Train();
+
+  struct Variant {
+    const char* name;
+    void (*apply)(AdvancedFrameworkConfig&);
+  };
+  const Variant variants[] = {
+      {"AF (full)", [](AdvancedFrameworkConfig&) {}},
+      {"- graph factorization",
+       [](AdvancedFrameworkConfig& c) { c.use_graph_factorization = false; }},
+      {"- CNRNN (plain GRU)",
+       [](AdvancedFrameworkConfig& c) { c.use_gcgru = false; }},
+      {"- cluster pooling (id order)",
+       [](AdvancedFrameworkConfig& c) { c.use_cluster_pooling = false; }},
+      {"- Dirichlet reg (Frobenius)",
+       [](AdvancedFrameworkConfig& c) {
+         c.use_dirichlet_regularizer = false;
+       }},
+  };
+
+  Table table({"variant", "KL", "JS", "EMD", "#weights"});
+  for (const Variant& variant : variants) {
+    Stopwatch watch;
+    AdvancedFrameworkConfig config;
+    config.seed = scale.seed + 13;
+    variant.apply(config);
+    AdvancedFramework model(world.spec.graph, world.spec.graph,
+                            world.buckets, horizon, config);
+    model.Fit(dataset, split, train);
+    const auto result =
+        EvaluateForecaster(model, dataset, split.test, train.batch_size);
+    const auto& acc = result[0];
+    table.AddRow({variant.name, Table::Num(acc.Mean(Metric::kKl)),
+                  Table::Num(acc.Mean(Metric::kJs)),
+                  Table::Num(acc.Mean(Metric::kEmd)),
+                  std::to_string(model.NumParameters())});
+    std::fprintf(stderr, "[ablation] %s done in %.1fs\n", variant.name,
+                 watch.ElapsedSeconds());
+  }
+
+  std::printf("== AF ablations (NYC-like, 1-step, s=6) ==\n");
+  table.Print(stdout);
+  MaybeWriteCsv(table, "ablation_af");
+}
+
+}  // namespace
+}  // namespace odf::bench
+
+int main() {
+  odf::bench::Run();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Reproduces paper Fig. 7: sparseness of the original and preprocessed
+// data per time interval. "Original" counts observed OD pairs against all
+// N×N' pairs; "preprocessed" counts them against the pairs observed at
+// least once in the whole dataset (never-covered pairs are dropped, like
+// the paper's removal of never-traversed taxizone pairs).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace odf::bench {
+namespace {
+
+void RunDataset(const World& world, Table& table) {
+  const SparsityStats stats = ComputeSparsity(world.series);
+  const int64_t per_day = world.time_partition.IntervalsPerDay();
+  const int bin_hours = 3;
+  const int num_bins = 24 / bin_hours;
+  const int64_t intervals_per_bin = per_day / num_bins;
+
+  // Average each 3-hour slot across days (the figure's x-axis).
+  for (int bin = 0; bin < num_bins; ++bin) {
+    double original = 0;
+    double preprocessed = 0;
+    int64_t count = 0;
+    for (int64_t t = 0; t < world.series.NumIntervals(); ++t) {
+      const int64_t slot = (t % per_day) / intervals_per_bin;
+      if (slot != bin) continue;
+      original += stats.original[static_cast<size_t>(t)];
+      preprocessed += stats.preprocessed[static_cast<size_t>(t)];
+      ++count;
+    }
+    if (count == 0) continue;
+    table.AddRow({world.spec.name,
+                  std::to_string(bin * bin_hours) + "-" +
+                      std::to_string((bin + 1) * bin_hours) + "h",
+                  Table::Num(original / count, 4),
+                  Table::Num(preprocessed / count, 4)});
+  }
+  const double coverage =
+      static_cast<double>(stats.ever_observed_pairs) /
+      static_cast<double>(world.regions * world.regions);
+  std::printf("%s: %lld of %lld OD pairs ever observed (%.1f%% coverage)\n",
+              world.spec.name.c_str(),
+              static_cast<long long>(stats.ever_observed_pairs),
+              static_cast<long long>(world.regions * world.regions),
+              100.0 * coverage);
+}
+
+void Run() {
+  const Scale scale = Scale::FromEnv();
+  Table table({"dataset", "time of day", "observed/all pairs",
+               "observed/ever-observed pairs"});
+  const World nyc = BuildNyc(scale);
+  const World cd = BuildCd(scale);
+  RunDataset(nyc, table);
+  RunDataset(cd, table);
+  std::printf("\n== Fig. 7: per-interval sparseness "
+              "(mean observed fraction per 3h slot) ==\n");
+  table.Print(stdout);
+  MaybeWriteCsv(table, "fig7_sparseness");
+}
+
+}  // namespace
+}  // namespace odf::bench
+
+int main() {
+  odf::bench::Run();
+  return 0;
+}

@@ -1,0 +1,149 @@
+// Micro-benchmarks of the neural substrate (google-benchmark): the tensor
+// kernels, graph convolution, recurrent cells and a full AF training step.
+// These quantify the cost structure behind the experiment harnesses.
+
+#include <benchmark/benchmark.h>
+
+#include "autograd/ops.h"
+#include "core/advanced_framework.h"
+#include "core/trainer.h"
+#include "graph/laplacian.h"
+#include "graph/region_graph.h"
+#include "nn/cheb_conv.h"
+#include "nn/gcgru.h"
+#include "nn/gru.h"
+#include "nn/optimizer.h"
+#include "sim/trip_generator.h"
+#include "tensor/tensor_ops.h"
+
+namespace odf {
+namespace {
+
+namespace ag = odf::autograd;
+
+void BM_MatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::RandomNormal(Shape({n, n}), rng);
+  Tensor b = Tensor::RandomNormal(Shape({n, n}), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_BatchMatMul(benchmark::State& state) {
+  Rng rng(2);
+  Tensor a = Tensor::RandomNormal(Shape({64, 16, 16}), rng);
+  Tensor b = Tensor::RandomNormal(Shape({64, 16, 16}), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BatchMatMul(a, b));
+  }
+}
+BENCHMARK(BM_BatchMatMul);
+
+void BM_SoftmaxLastDim(benchmark::State& state) {
+  Rng rng(3);
+  Tensor a = Tensor::RandomNormal(Shape({16, 16, 16, 7}), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SoftmaxLastDim(a));
+  }
+}
+BENCHMARK(BM_SoftmaxLastDim);
+
+Tensor BenchLaplacian(int rows, int cols) {
+  RegionGraph g = RegionGraph::Grid(rows, cols, 1.0);
+  return ScaledLaplacian(Laplacian(g.ProximityMatrix({1.0, 1.5})));
+}
+
+void BM_ChebConvForward(benchmark::State& state) {
+  Rng rng(4);
+  nn::ChebConv conv(BenchLaplacian(4, 4), 7, 8, 3, rng);
+  Tensor x = Tensor::RandomNormal(Shape({64, 16, 7}), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.Forward(ag::Var::Constant(x)).value());
+  }
+}
+BENCHMARK(BM_ChebConvForward);
+
+void BM_GruStep(benchmark::State& state) {
+  Rng rng(5);
+  nn::GruCell cell(32, 32, rng);
+  ag::Var x = ag::Var::Constant(Tensor::RandomNormal(Shape({16, 32}), rng));
+  ag::Var h = cell.InitialState(16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cell.Step(x, h).value());
+  }
+}
+BENCHMARK(BM_GruStep);
+
+void BM_GcGruStep(benchmark::State& state) {
+  Rng rng(6);
+  nn::GcGruCell cell(BenchLaplacian(4, 4), 28, 16, 3, rng);
+  ag::Var x =
+      ag::Var::Constant(Tensor::RandomNormal(Shape({8, 16, 28}), rng));
+  ag::Var h = cell.InitialState(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cell.Step(x, h).value());
+  }
+}
+BENCHMARK(BM_GcGruStep);
+
+struct AfFixture {
+  DatasetSpec spec = MakeNycLike(4, 4, 2, 60);
+  OdTensorSeries series;
+  ForecastDataset dataset;
+  AdvancedFramework model;
+  nn::Adam optimizer;
+
+  AfFixture()
+      : series(BuildSeries()),
+        dataset(&series, 3, 1),
+        model(spec.graph, spec.graph, 7, 1, {}),
+        optimizer(model.Parameters(), 1e-3f) {}
+
+  OdTensorSeries BuildSeries() {
+    TripGenerator gen(spec.graph, spec.config);
+    return BuildOdTensorSeries(gen.Generate(),
+                               TimePartition(60, 2), 16, 16,
+                               SpeedHistogramSpec::Paper());
+  }
+};
+
+void BM_AdvancedFrameworkTrainStep(benchmark::State& state) {
+  AfFixture fixture;
+  Batch batch = fixture.dataset.MakeBatch({0, 1, 2, 3, 4, 5, 6, 7});
+  Rng rng(7);
+  for (auto _ : state) {
+    fixture.optimizer.ZeroGrad();
+    ag::Var loss = fixture.model.Loss(batch, /*train=*/true, rng);
+    loss.Backward();
+    fixture.optimizer.Step();
+    benchmark::DoNotOptimize(loss.value().Item());
+  }
+}
+BENCHMARK(BM_AdvancedFrameworkTrainStep);
+
+void BM_AdvancedFrameworkPredict(benchmark::State& state) {
+  AfFixture fixture;
+  Batch batch = fixture.dataset.MakeBatch({0, 1, 2, 3, 4, 5, 6, 7});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture.model.Predict(batch));
+  }
+}
+BENCHMARK(BM_AdvancedFrameworkPredict);
+
+void BM_TripGeneration(benchmark::State& state) {
+  DatasetSpec spec = MakeNycLike(4, 4, 2, 60);
+  for (auto _ : state) {
+    TripGenerator gen(spec.graph, spec.config);
+    benchmark::DoNotOptimize(gen.Generate());
+  }
+}
+BENCHMARK(BM_TripGeneration);
+
+}  // namespace
+}  // namespace odf
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// Production-style pipeline: the full API surface a deployment would use.
+//
+//   trips.csv  ->  OD tensors  ->  train AF  ->  checkpoint  ->  reload
+//              ->  forecast    ->  outlier guard  ->  serve
+//
+// The trips come from the simulator here, but the CSV step is exactly where
+// real data (e.g. map-matched NYC TLC records) plugs in.
+
+#include <cstdio>
+
+#include "baselines/naive_histogram.h"
+#include "core/advanced_framework.h"
+#include "core/experiment.h"
+#include "core/outlier_guard.h"
+#include "core/trainer.h"
+#include "nn/serialize.h"
+#include "od/trip_io.h"
+#include "sim/trip_generator.h"
+
+int main() {
+  const std::string trips_path = "/tmp/odf_trips.csv";
+  const std::string regions_path = "/tmp/odf_regions.csv";
+  const std::string checkpoint_path = "/tmp/odf_af_checkpoint.bin";
+
+  // --- Ingest: persist and reload the raw data as CSV. ------------------
+  odf::DatasetSpec spec = odf::MakeNycLike(4, 4, 6, 30);
+  {
+    odf::TripGenerator generator(spec.graph, spec.config);
+    const auto trips = generator.Generate();
+    ODF_CHECK(odf::WriteTripsCsv(trips, trips_path));
+    ODF_CHECK(odf::WriteRegionsCsv(spec.graph, regions_path));
+    std::printf("wrote %zu trips to %s\n", trips.size(), trips_path.c_str());
+  }
+
+  std::vector<odf::Trip> trips;
+  ODF_CHECK(odf::ReadTripsCsv(trips_path, &trips));
+  std::vector<odf::Region> regions;
+  ODF_CHECK(odf::ReadRegionsCsv(regions_path, &regions));
+  odf::RegionGraph graph{regions};
+  std::printf("reloaded %zu trips over %lld regions\n", trips.size(),
+              static_cast<long long>(graph.size()));
+
+  // --- Features: sparse stochastic OD tensors. --------------------------
+  odf::TimePartition time_partition(spec.config.interval_minutes,
+                                    spec.config.num_days);
+  odf::OdTensorSeries series = odf::BuildOdTensorSeries(
+      trips, time_partition, graph.size(), graph.size(),
+      odf::SpeedHistogramSpec::Paper());
+  odf::ForecastDataset dataset(&series, 6, 1);
+  const auto split = dataset.ChronologicalSplit(0.7, 0.1);
+
+  // --- Train and checkpoint. --------------------------------------------
+  odf::AdvancedFrameworkConfig model_config;
+  odf::AdvancedFramework model(graph, graph, 7, 1, model_config);
+  odf::TrainConfig train;
+  train.epochs = 8;
+  model.Fit(dataset, split, train);
+  ODF_CHECK(odf::nn::SaveParameters(model, checkpoint_path));
+  std::printf("checkpoint saved (%lld weights)\n",
+              static_cast<long long>(model.NumParameters()));
+
+  // --- Serving process: fresh model object + checkpoint. ----------------
+  odf::AdvancedFramework serving(graph, graph, 7, 1, model_config);
+  ODF_CHECK(odf::nn::LoadParameters(serving, checkpoint_path));
+
+  // Outlier guard (paper future work): prior = NH training means.
+  odf::NaiveHistogramForecaster nh;
+  nh.Fit(dataset, split, {});
+  odf::OutlierGuard guard(nh.mean_tensor(), /*js_threshold=*/0.5,
+                          /*blend=*/0.5);
+
+  // --- Forecast the latest window and serve guarded histograms. ---------
+  odf::Batch batch = dataset.MakeBatch({split.test.back()});
+  odf::Tensor forecast = serving.Predict(batch)[0];
+  odf::Tensor guarded = guard.Apply(forecast);
+  std::printf("served full %lldx%lld OD matrix; outlier guard damped %lld "
+              "of %lld cells\n",
+              static_cast<long long>(graph.size()),
+              static_cast<long long>(graph.size()),
+              static_cast<long long>(guard.last_outlier_count()),
+              static_cast<long long>(graph.size() * graph.size()));
+
+  const auto quality =
+      odf::EvaluateForecaster(serving, dataset, split.test, 16);
+  std::printf("serving-model test quality: KL=%.3f JS=%.3f EMD=%.3f\n",
+              quality[0].Mean(odf::Metric::kKl),
+              quality[0].Mean(odf::Metric::kJs),
+              quality[0].Mean(odf::Metric::kEmd));
+  return 0;
+}

@@ -1,0 +1,75 @@
+#ifndef ODF_AUTOGRAD_GRADCHECK_H_
+#define ODF_AUTOGRAD_GRADCHECK_H_
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "autograd/var.h"
+
+namespace odf::autograd {
+
+/// Result of a finite-difference gradient check.
+struct GradCheckResult {
+  bool ok = true;
+  /// Worst absolute deviation between analytic and numeric gradient.
+  double max_abs_error = 0.0;
+  /// Flat index (input-major) where the worst deviation occurred.
+  int64_t worst_input = -1;
+  int64_t worst_element = -1;
+};
+
+/// Verifies analytic gradients against central finite differences.
+///
+/// `fn` maps the given leaf inputs to a scalar Var. Each input is perturbed
+/// elementwise by ±`eps` and the numeric slope is compared against the
+/// analytic gradient with tolerance `tol`. Inputs are modified in place
+/// during the check and restored afterwards.
+inline GradCheckResult GradCheck(
+    const std::function<Var(const std::vector<Var>&)>& fn,
+    std::vector<Var>& inputs, double eps = 1e-3, double tol = 2e-2) {
+  // Analytic pass.
+  for (Var& v : inputs) v.ZeroGrad();
+  Var loss = fn(inputs);
+  loss.Backward();
+  std::vector<Tensor> analytic;
+  analytic.reserve(inputs.size());
+  for (Var& v : inputs) analytic.push_back(v.grad());
+
+  GradCheckResult result;
+  for (size_t vi = 0; vi < inputs.size(); ++vi) {
+    if (!inputs[vi].requires_grad()) continue;
+    Tensor base = inputs[vi].value();
+    for (int64_t i = 0; i < base.numel(); ++i) {
+      Tensor plus = base;
+      plus[i] += static_cast<float>(eps);
+      inputs[vi].SetValue(plus);
+      const double f_plus = fn(inputs).value().Item();
+
+      Tensor minus = base;
+      minus[i] -= static_cast<float>(eps);
+      inputs[vi].SetValue(minus);
+      const double f_minus = fn(inputs).value().Item();
+
+      inputs[vi].SetValue(base);
+      const double numeric = (f_plus - f_minus) / (2.0 * eps);
+      const double error =
+          std::fabs(numeric - static_cast<double>(analytic[vi][i]));
+      if (error > result.max_abs_error) {
+        result.max_abs_error = error;
+        result.worst_input = static_cast<int64_t>(vi);
+        result.worst_element = i;
+      }
+      // Relative-aware tolerance: scale by gradient magnitude.
+      const double scale =
+          std::max(1.0, std::fabs(numeric) + std::fabs(analytic[vi][i]));
+      if (error > tol * scale) result.ok = false;
+    }
+  }
+  return result;
+}
+
+}  // namespace odf::autograd
+
+#endif  // ODF_AUTOGRAD_GRADCHECK_H_

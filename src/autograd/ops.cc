@@ -1,0 +1,372 @@
+#include "autograd/ops.h"
+
+#include <cmath>
+
+namespace odf::autograd {
+
+namespace {
+
+using internal::MakeOpVar;
+using internal::Node;
+
+/// Applies the n×n matrix `m` along axis `axis` of `x`:
+/// y[..., r, ...] = Σ_j m[r, j] · x[..., j, ...].
+Tensor ApplyMatrixAlongAxis(const Tensor& m, const Tensor& x, int64_t axis) {
+  ODF_CHECK_EQ(m.rank(), 2);
+  if (axis < 0) axis += x.rank();
+  const int64_t n = x.dim(axis);
+  ODF_CHECK_EQ(m.dim(0), n);
+  ODF_CHECK_EQ(m.dim(1), n);
+  int64_t outer = 1;
+  for (int64_t d = 0; d < axis; ++d) outer *= x.dim(d);
+  int64_t inner = 1;
+  for (int64_t d = axis + 1; d < x.rank(); ++d) inner *= x.dim(d);
+  Tensor y(x.shape());
+  for (int64_t o = 0; o < outer; ++o) {
+    const float* xo = x.data() + o * n * inner;
+    float* yo = y.data() + o * n * inner;
+    for (int64_t r = 0; r < n; ++r) {
+      float* yrow = yo + r * inner;
+      const float* mrow = m.data() + r * n;
+      for (int64_t j = 0; j < n; ++j) {
+        const float w = mrow[j];
+        if (w == 0.0f) continue;
+        const float* xrow = xo + j * inner;
+        for (int64_t i = 0; i < inner; ++i) yrow[i] += w * xrow[i];
+      }
+    }
+  }
+  return y;
+}
+
+}  // namespace
+
+Var Add(const Var& a, const Var& b) {
+  Tensor out = odf::Add(a.value(), b.value());
+  return MakeOpVar(std::move(out), {a, b}, [](Node& node) {
+    if (node.parents[0]->requires_grad) {
+      node.parents[0]->AccumulateGrad(
+          ReduceToShape(node.grad, node.parents[0]->value.shape()));
+    }
+    if (node.parents[1]->requires_grad) {
+      node.parents[1]->AccumulateGrad(
+          ReduceToShape(node.grad, node.parents[1]->value.shape()));
+    }
+  });
+}
+
+Var Sub(const Var& a, const Var& b) {
+  Tensor out = odf::Sub(a.value(), b.value());
+  return MakeOpVar(std::move(out), {a, b}, [](Node& node) {
+    if (node.parents[0]->requires_grad) {
+      node.parents[0]->AccumulateGrad(
+          ReduceToShape(node.grad, node.parents[0]->value.shape()));
+    }
+    if (node.parents[1]->requires_grad) {
+      node.parents[1]->AccumulateGrad(
+          ReduceToShape(odf::Neg(node.grad), node.parents[1]->value.shape()));
+    }
+  });
+}
+
+Var Mul(const Var& a, const Var& b) {
+  Tensor out = odf::Mul(a.value(), b.value());
+  return MakeOpVar(std::move(out), {a, b}, [](Node& node) {
+    if (node.parents[0]->requires_grad) {
+      node.parents[0]->AccumulateGrad(
+          ReduceToShape(odf::Mul(node.grad, node.parents[1]->value),
+                        node.parents[0]->value.shape()));
+    }
+    if (node.parents[1]->requires_grad) {
+      node.parents[1]->AccumulateGrad(
+          ReduceToShape(odf::Mul(node.grad, node.parents[0]->value),
+                        node.parents[1]->value.shape()));
+    }
+  });
+}
+
+Var AddScalar(const Var& a, float s) {
+  return MakeOpVar(odf::AddScalar(a.value(), s), {a}, [](Node& node) {
+    node.parents[0]->AccumulateGrad(node.grad);
+  });
+}
+
+Var MulScalar(const Var& a, float s) {
+  return MakeOpVar(odf::MulScalar(a.value(), s), {a}, [s](Node& node) {
+    node.parents[0]->AccumulateGrad(odf::MulScalar(node.grad, s));
+  });
+}
+
+Var Neg(const Var& a) { return MulScalar(a, -1.0f); }
+
+Var Square(const Var& a) { return Mul(a, a); }
+
+Var MatMul(const Var& a, const Var& b) {
+  Tensor out = odf::MatMul(a.value(), b.value());
+  return MakeOpVar(std::move(out), {a, b}, [](Node& node) {
+    const Tensor& av = node.parents[0]->value;
+    const Tensor& bv = node.parents[1]->value;
+    if (node.parents[0]->requires_grad) {
+      node.parents[0]->AccumulateGrad(
+          odf::MatMul(node.grad, Transpose2D(bv)));
+    }
+    if (node.parents[1]->requires_grad) {
+      node.parents[1]->AccumulateGrad(
+          odf::MatMul(Transpose2D(av), node.grad));
+    }
+  });
+}
+
+Var BatchMatMul(const Var& a, const Var& b) {
+  Tensor out = odf::BatchMatMul(a.value(), b.value());
+  return MakeOpVar(std::move(out), {a, b}, [](Node& node) {
+    const Tensor& av = node.parents[0]->value;
+    const Tensor& bv = node.parents[1]->value;
+    if (node.parents[0]->requires_grad) {
+      Tensor da = odf::BatchMatMul(node.grad, odf::TransposeLast2(bv));
+      if (av.rank() == 2) da = odf::Sum(da, 0, /*keepdim=*/false);
+      node.parents[0]->AccumulateGrad(da);
+    }
+    if (node.parents[1]->requires_grad) {
+      Tensor db = odf::BatchMatMul(odf::TransposeLast2(av), node.grad);
+      if (bv.rank() == 2) db = odf::Sum(db, 0, /*keepdim=*/false);
+      node.parents[1]->AccumulateGrad(db);
+    }
+  });
+}
+
+Var Reshape(const Var& a, std::vector<int64_t> dims) {
+  Tensor out = a.value().Reshape(std::move(dims));
+  return MakeOpVar(std::move(out), {a}, [](Node& node) {
+    node.parents[0]->AccumulateGrad(
+        node.grad.Reshape(node.parents[0]->value.shape().dims()));
+  });
+}
+
+Var Concat(const std::vector<Var>& parts, int64_t axis) {
+  ODF_CHECK(!parts.empty());
+  std::vector<Tensor> values;
+  values.reserve(parts.size());
+  for (const Var& p : parts) values.push_back(p.value());
+  const int64_t resolved =
+      axis < 0 ? axis + parts.front().rank() : axis;
+  Tensor out = odf::Concat(values, resolved);
+  return MakeOpVar(std::move(out), parts, [resolved](Node& node) {
+    int64_t offset = 0;
+    for (auto& parent : node.parents) {
+      const int64_t len = parent->value.dim(resolved);
+      if (parent->requires_grad) {
+        parent->AccumulateGrad(
+            odf::Slice(node.grad, resolved, offset, len));
+      }
+      offset += len;
+    }
+  });
+}
+
+Var Slice(const Var& a, int64_t axis, int64_t start, int64_t len) {
+  const int64_t resolved = axis < 0 ? axis + a.rank() : axis;
+  Tensor out = odf::Slice(a.value(), resolved, start, len);
+  return MakeOpVar(std::move(out), {a}, [resolved, start, len](Node& node) {
+    const Tensor& pv = node.parents[0]->value;
+    Tensor grad(pv.shape());
+    int64_t outer = 1;
+    for (int64_t d = 0; d < resolved; ++d) outer *= pv.dim(d);
+    int64_t inner = 1;
+    for (int64_t d = resolved + 1; d < pv.rank(); ++d) inner *= pv.dim(d);
+    const int64_t dst_row = pv.dim(resolved) * inner;
+    const int64_t src_row = len * inner;
+    for (int64_t o = 0; o < outer; ++o) {
+      const float* src = node.grad.data() + o * src_row;
+      float* dst = grad.data() + o * dst_row + start * inner;
+      std::copy(src, src + src_row, dst);
+    }
+    node.parents[0]->AccumulateGrad(grad);
+  });
+}
+
+Var TransposeLast2(const Var& a) {
+  return MakeOpVar(odf::TransposeLast2(a.value()), {a}, [](Node& node) {
+    node.parents[0]->AccumulateGrad(odf::TransposeLast2(node.grad));
+  });
+}
+
+Var Permute(const Var& a, const std::vector<int64_t>& perm) {
+  std::vector<int64_t> inverse(perm.size());
+  for (size_t i = 0; i < perm.size(); ++i) {
+    inverse[static_cast<size_t>(perm[i])] = static_cast<int64_t>(i);
+  }
+  return MakeOpVar(odf::Permute(a.value(), perm), {a},
+                   [inverse](Node& node) {
+                     node.parents[0]->AccumulateGrad(
+                         odf::Permute(node.grad, inverse));
+                   });
+}
+
+Var Sigmoid(const Var& a) {
+  Tensor out = odf::Sigmoid(a.value());
+  return MakeOpVar(std::move(out), {a}, [](Node& node) {
+    Tensor d(node.value.shape());
+    const int64_t n = node.value.numel();
+    for (int64_t i = 0; i < n; ++i) {
+      const float y = node.value[i];
+      d[i] = node.grad[i] * y * (1.0f - y);
+    }
+    node.parents[0]->AccumulateGrad(d);
+  });
+}
+
+Var Tanh(const Var& a) {
+  Tensor out = odf::Tanh(a.value());
+  return MakeOpVar(std::move(out), {a}, [](Node& node) {
+    Tensor d(node.value.shape());
+    const int64_t n = node.value.numel();
+    for (int64_t i = 0; i < n; ++i) {
+      const float y = node.value[i];
+      d[i] = node.grad[i] * (1.0f - y * y);
+    }
+    node.parents[0]->AccumulateGrad(d);
+  });
+}
+
+Var Relu(const Var& a) {
+  Tensor out = odf::Relu(a.value());
+  return MakeOpVar(std::move(out), {a}, [](Node& node) {
+    const Tensor& x = node.parents[0]->value;
+    Tensor d(x.shape());
+    const int64_t n = x.numel();
+    for (int64_t i = 0; i < n; ++i) {
+      d[i] = x[i] > 0 ? node.grad[i] : 0.0f;
+    }
+    node.parents[0]->AccumulateGrad(d);
+  });
+}
+
+Var Exp(const Var& a) {
+  Tensor out = odf::Exp(a.value());
+  return MakeOpVar(std::move(out), {a}, [](Node& node) {
+    node.parents[0]->AccumulateGrad(odf::Mul(node.grad, node.value));
+  });
+}
+
+Var LogEps(const Var& a, float eps) {
+  Tensor out = odf::Log(odf::AddScalar(a.value(), eps));
+  return MakeOpVar(std::move(out), {a}, [eps](Node& node) {
+    const Tensor& x = node.parents[0]->value;
+    Tensor d(x.shape());
+    const int64_t n = x.numel();
+    for (int64_t i = 0; i < n; ++i) d[i] = node.grad[i] / (x[i] + eps);
+    node.parents[0]->AccumulateGrad(d);
+  });
+}
+
+Var SoftmaxLastDim(const Var& a) {
+  Tensor out = odf::SoftmaxLastDim(a.value());
+  return MakeOpVar(std::move(out), {a}, [](Node& node) {
+    // dx = y ⊙ (g − Σ_last(g ⊙ y)).
+    const Tensor gy = odf::Mul(node.grad, node.value);
+    const Tensor sum = odf::Sum(gy, -1, /*keepdim=*/true);
+    node.parents[0]->AccumulateGrad(
+        odf::Mul(node.value, odf::Sub(node.grad, sum)));
+  });
+}
+
+Var SumAll(const Var& a) {
+  return MakeOpVar(odf::SumAll(a.value()), {a}, [](Node& node) {
+    node.parents[0]->AccumulateGrad(
+        Tensor::Full(node.parents[0]->value.shape(), node.grad[0]));
+  });
+}
+
+Var MeanAll(const Var& a) {
+  const float inv = 1.0f / static_cast<float>(a.value().numel());
+  return MakeOpVar(odf::MeanAll(a.value()), {a}, [inv](Node& node) {
+    node.parents[0]->AccumulateGrad(Tensor::Full(
+        node.parents[0]->value.shape(), node.grad[0] * inv));
+  });
+}
+
+Var SumAxis(const Var& a, int64_t axis, bool keepdim) {
+  const int64_t resolved = axis < 0 ? axis + a.rank() : axis;
+  Tensor out = odf::Sum(a.value(), resolved, keepdim);
+  return MakeOpVar(std::move(out), {a}, [resolved](Node& node) {
+    const Tensor& pv = node.parents[0]->value;
+    Tensor grad(pv.shape());
+    int64_t outer = 1;
+    for (int64_t d = 0; d < resolved; ++d) outer *= pv.dim(d);
+    const int64_t mid = pv.dim(resolved);
+    int64_t inner = 1;
+    for (int64_t d = resolved + 1; d < pv.rank(); ++d) inner *= pv.dim(d);
+    // The reduced gradient has outer*inner elements regardless of keepdim.
+    for (int64_t o = 0; o < outer; ++o) {
+      const float* g = node.grad.data() + o * inner;
+      for (int64_t m = 0; m < mid; ++m) {
+        float* dst = grad.data() + (o * mid + m) * inner;
+        for (int64_t i = 0; i < inner; ++i) dst[i] = g[i];
+      }
+    }
+    node.parents[0]->AccumulateGrad(grad);
+  });
+}
+
+Var Dropout(const Var& a, float p, bool train, Rng& rng) {
+  if (!train || p <= 0.0f) return a;
+  ODF_CHECK_LT(p, 1.0f);
+  const float scale = 1.0f / (1.0f - p);
+  Tensor mask(a.shape());
+  for (int64_t i = 0; i < mask.numel(); ++i) {
+    mask[i] = rng.Bernoulli(p) ? 0.0f : scale;
+  }
+  Tensor out = odf::Mul(a.value(), mask);
+  return MakeOpVar(std::move(out), {a}, [mask](Node& node) {
+    node.parents[0]->AccumulateGrad(odf::Mul(node.grad, mask));
+  });
+}
+
+Var MaskedSquaredError(const Var& pred, const Tensor& target,
+                       const Tensor& mask, float normalizer) {
+  ODF_CHECK(pred.shape() == target.shape());
+  ODF_CHECK(pred.shape() == mask.shape());
+  ODF_CHECK_GT(normalizer, 0.0f);
+  const Tensor& pv = pred.value();
+  double total = 0;
+  for (int64_t i = 0; i < pv.numel(); ++i) {
+    const double diff = pv[i] - target[i];
+    total += mask[i] * diff * diff;
+  }
+  Tensor out = Tensor::Scalar(static_cast<float>(total / normalizer));
+  return MakeOpVar(std::move(out), {pred},
+                   [target, mask, normalizer](Node& node) {
+                     const Tensor& pv = node.parents[0]->value;
+                     Tensor d(pv.shape());
+                     const float g = node.grad[0];
+                     for (int64_t i = 0; i < pv.numel(); ++i) {
+                       d[i] = g * 2.0f * mask[i] * (pv[i] - target[i]) /
+                              normalizer;
+                     }
+                     node.parents[0]->AccumulateGrad(d);
+                   });
+}
+
+Var FrobeniusSquared(const Var& a) {
+  Tensor out = Tensor::Scalar(SquaredNorm(a.value()));
+  return MakeOpVar(std::move(out), {a}, [](Node& node) {
+    node.parents[0]->AccumulateGrad(odf::MulScalar(
+        node.parents[0]->value, 2.0f * node.grad[0]));
+  });
+}
+
+Var DirichletEnergy(const Var& x, const Tensor& laplacian,
+                    int64_t node_axis) {
+  const int64_t axis = node_axis < 0 ? node_axis + x.rank() : node_axis;
+  const Tensor lx = ApplyMatrixAlongAxis(laplacian, x.value(), axis);
+  Tensor out = odf::SumAll(odf::Mul(x.value(), lx));
+  // Gradient (symmetric L): d/dx trace(xᵀLx) = 2 L x.
+  return MakeOpVar(std::move(out), {x}, [laplacian, axis](Node& node) {
+    Tensor d = ApplyMatrixAlongAxis(laplacian, node.parents[0]->value, axis);
+    node.parents[0]->AccumulateGrad(
+        odf::MulScalar(d, 2.0f * node.grad[0]));
+  });
+}
+
+}  // namespace odf::autograd

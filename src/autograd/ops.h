@@ -1,0 +1,81 @@
+#ifndef ODF_AUTOGRAD_OPS_H_
+#define ODF_AUTOGRAD_OPS_H_
+
+#include <vector>
+
+#include "autograd/var.h"
+#include "util/rng.h"
+
+namespace odf::autograd {
+
+// Differentiable ops over Var. Each builds a tape node whose backward pass
+// propagates gradients to its inputs (only when some input requires grad).
+
+// -- Arithmetic (numpy-style broadcasting on both sides) -------------------
+
+Var Add(const Var& a, const Var& b);
+Var Sub(const Var& a, const Var& b);
+Var Mul(const Var& a, const Var& b);
+Var AddScalar(const Var& a, float s);
+Var MulScalar(const Var& a, float s);
+Var Neg(const Var& a);
+/// Elementwise square (x ⊙ x).
+Var Square(const Var& a);
+
+// -- Matrix products -------------------------------------------------------
+
+/// [m,k] x [k,n] -> [m,n].
+Var MatMul(const Var& a, const Var& b);
+/// Batched matmul with rank-2 broadcast on either side (see tensor op).
+Var BatchMatMul(const Var& a, const Var& b);
+
+// -- Shape surgery -----------------------------------------------------------
+
+Var Reshape(const Var& a, std::vector<int64_t> dims);
+Var Concat(const std::vector<Var>& parts, int64_t axis);
+Var Slice(const Var& a, int64_t axis, int64_t start, int64_t len);
+Var TransposeLast2(const Var& a);
+Var Permute(const Var& a, const std::vector<int64_t>& perm);
+
+// -- Nonlinearities -----------------------------------------------------------
+
+Var Sigmoid(const Var& a);
+Var Tanh(const Var& a);
+Var Relu(const Var& a);
+Var Exp(const Var& a);
+/// log(a + eps); eps keeps the op finite at 0.
+Var LogEps(const Var& a, float eps = 1e-8f);
+/// Softmax along the last axis.
+Var SoftmaxLastDim(const Var& a);
+
+// -- Reductions ----------------------------------------------------------------
+
+/// Sum of all elements -> shape {1}.
+Var SumAll(const Var& a);
+/// Mean of all elements -> shape {1}.
+Var MeanAll(const Var& a);
+/// Sum along one axis; `keepdim` keeps the reduced axis with size 1.
+Var SumAxis(const Var& a, int64_t axis, bool keepdim);
+
+// -- Regularization / losses -----------------------------------------------------
+
+/// Inverted dropout: at train time zeroes each element with prob `p` and
+/// scales survivors by 1/(1-p); identity when `train` is false.
+Var Dropout(const Var& a, float p, bool train, Rng& rng);
+
+/// Masked squared error: sum(mask ⊙ (pred - target)²) / normalizer.
+/// `mask` and `target` are constants (no gradient).
+Var MaskedSquaredError(const Var& pred, const Tensor& target,
+                       const Tensor& mask, float normalizer = 1.0f);
+
+/// Squared Frobenius norm as a scalar Var: sum(a ⊙ a).
+Var FrobeniusSquared(const Var& a);
+
+/// Graph Dirichlet energy trace(Xᵀ L X) for batched node-feature tensors.
+/// `x` has node dimension `node_axis` of size n and `laplacian` is a constant
+/// n×n matrix; returns a scalar. Used for the Eq. 11 regularizer.
+Var DirichletEnergy(const Var& x, const Tensor& laplacian, int64_t node_axis);
+
+}  // namespace odf::autograd
+
+#endif  // ODF_AUTOGRAD_OPS_H_

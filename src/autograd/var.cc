@@ -1,0 +1,107 @@
+#include "autograd/var.h"
+
+#include <unordered_set>
+
+namespace odf::autograd {
+
+namespace internal {
+
+void Node::AccumulateGrad(const Tensor& delta) {
+  ODF_CHECK(delta.shape() == value.shape())
+      << "grad shape " << delta.shape().ToString() << " vs value "
+      << value.shape().ToString();
+  if (!grad_allocated) {
+    grad = delta;
+    grad_allocated = true;
+    return;
+  }
+  float* g = grad.data();
+  const float* d = delta.data();
+  const int64_t n = grad.numel();
+  for (int64_t i = 0; i < n; ++i) g[i] += d[i];
+}
+
+Var MakeOpVar(Tensor value, std::vector<Var> parents,
+              std::function<void(Node&)> backward) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  bool any_grad = false;
+  for (const Var& p : parents) any_grad = any_grad || p.requires_grad();
+  node->requires_grad = any_grad;
+  if (any_grad) {
+    node->parents.reserve(parents.size());
+    for (const Var& p : parents) node->parents.push_back(p.node());
+    node->backward = std::move(backward);
+  }
+  return Var(std::move(node));
+}
+
+}  // namespace internal
+
+Var::Var(Tensor value, bool requires_grad) {
+  node_ = std::make_shared<internal::Node>();
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+}
+
+const Tensor& Var::grad() const {
+  if (!node_->grad_allocated) {
+    // Lazily materialize a zero gradient so callers can always read it.
+    node_->grad = Tensor(node_->value.shape());
+    node_->grad_allocated = true;
+  }
+  return node_->grad;
+}
+
+void Var::ZeroGrad() {
+  node_->grad_allocated = false;
+  node_->grad = Tensor();
+}
+
+void Var::SetValue(Tensor value) {
+  ODF_CHECK(node_->parents.empty()) << "SetValue on a non-leaf Var";
+  ODF_CHECK(value.shape() == node_->value.shape());
+  node_->value = std::move(value);
+}
+
+void Var::Backward() {
+  ODF_CHECK_EQ(node_->value.numel(), 1)
+      << "Backward() must start from a scalar";
+  // Topological order via iterative DFS.
+  std::vector<internal::Node*> order;
+  std::unordered_set<internal::Node*> visited;
+  struct Frame {
+    internal::Node* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  if (node_->requires_grad) stack.push_back({node_.get(), 0});
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next_parent == 0) {
+      if (visited.count(frame.node) != 0) {
+        stack.pop_back();
+        continue;
+      }
+      visited.insert(frame.node);
+    }
+    if (frame.next_parent < frame.node->parents.size()) {
+      internal::Node* parent =
+          frame.node->parents[frame.next_parent++].get();
+      if (parent->requires_grad && visited.count(parent) == 0) {
+        stack.push_back({parent, 0});
+      }
+    } else {
+      order.push_back(frame.node);
+      stack.pop_back();
+    }
+  }
+
+  node_->AccumulateGrad(Tensor::Ones(node_->value.shape()));
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    internal::Node* node = *it;
+    if (node->backward && node->grad_allocated) node->backward(*node);
+  }
+}
+
+}  // namespace odf::autograd

@@ -1,0 +1,97 @@
+#ifndef ODF_AUTOGRAD_VAR_H_
+#define ODF_AUTOGRAD_VAR_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
+
+namespace odf::autograd {
+
+class Var;
+
+namespace internal {
+
+/// One node of the dynamically-built computation tape.
+struct Node {
+  Tensor value;
+  /// Gradient of the final scalar loss w.r.t. `value`; lazily allocated.
+  Tensor grad;
+  bool grad_allocated = false;
+  bool requires_grad = false;
+  /// Parents in the dataflow graph (inputs of the op that produced `value`).
+  std::vector<std::shared_ptr<Node>> parents;
+  /// Propagates `grad` to the parents. Null for leaves.
+  std::function<void(Node&)> backward;
+
+  /// Adds `delta` into this node's gradient accumulator.
+  void AccumulateGrad(const Tensor& delta);
+};
+
+}  // namespace internal
+
+/// A differentiable tensor variable (reverse-mode autodiff handle).
+///
+/// `Var` has shared-reference semantics: copying a Var aliases the same
+/// underlying node, exactly like framework tensors. Build computations with
+/// the free functions in autograd/ops.h, then call `Backward()` on a scalar
+/// result; gradients appear in each requires-grad leaf's `grad()`.
+class Var {
+ public:
+  /// Leaf variable. `requires_grad` marks it as a trainable parameter /
+  /// gradient target.
+  explicit Var(Tensor value, bool requires_grad = false);
+
+  /// Non-differentiable constant leaf (convenience).
+  static Var Constant(Tensor value) { return Var(std::move(value), false); }
+
+  /// Current value.
+  const Tensor& value() const { return node_->value; }
+
+  /// Accumulated gradient. Zero tensor if backward has not reached this
+  /// node (or it does not require grad).
+  const Tensor& grad() const;
+
+  bool requires_grad() const { return node_->requires_grad; }
+
+  const Shape& shape() const { return node_->value.shape(); }
+  int64_t dim(int64_t axis) const { return node_->value.dim(axis); }
+  int64_t rank() const { return node_->value.rank(); }
+
+  /// Clears this node's gradient accumulator.
+  void ZeroGrad();
+
+  /// Overwrites the value in place (optimizer step on a leaf). Must not be
+  /// called on non-leaf nodes.
+  void SetValue(Tensor value);
+
+  /// Runs reverse-mode differentiation from this node. The node must hold a
+  /// single element (a scalar loss); its gradient is seeded with 1.
+  void Backward();
+
+  /// Internal: wraps an op-result node.
+  explicit Var(std::shared_ptr<internal::Node> node)
+      : node_(std::move(node)) {}
+
+  /// Internal: the underlying tape node.
+  const std::shared_ptr<internal::Node>& node() const { return node_; }
+
+ private:
+  std::shared_ptr<internal::Node> node_;
+};
+
+namespace internal {
+
+/// Creates an op-result Var. `parents` are the inputs, `backward` propagates
+/// the node's gradient to them. The result requires grad iff any parent does;
+/// if none do, the backward closure is dropped (no tape is built).
+Var MakeOpVar(Tensor value, std::vector<Var> parents,
+              std::function<void(Node&)> backward);
+
+}  // namespace internal
+
+}  // namespace odf::autograd
+
+#endif  // ODF_AUTOGRAD_VAR_H_

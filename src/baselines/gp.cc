@@ -1,0 +1,121 @@
+#include "baselines/gp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/naive_histogram.h"
+#include "tensor/linalg.h"
+#include "tensor/tensor_ops.h"
+
+namespace odf {
+
+void GaussianProcessForecaster::Fit(const ForecastDataset& dataset,
+                                    const ForecastDataset::Split& split,
+                                    const TrainConfig& /*config*/) {
+  ODF_CHECK(!split.train.empty());
+  series_ = &dataset.series();
+  horizon_ = dataset.horizon();
+  const int64_t limit = std::min(
+      dataset.AnchorInterval(split.train.back()) + dataset.horizon() + 1,
+      series_->NumIntervals());
+  fallback_ = MeanHistogramTensor(*series_, limit);
+}
+
+std::vector<Tensor> GaussianProcessForecaster::Predict(const Batch& batch) {
+  ODF_CHECK(series_ != nullptr) << "Fit() must run before Predict()";
+  const int64_t b = batch.batch_size();
+  const OdTensor& proto = series_->at(0);
+  const int64_t n = proto.num_origins();
+  const int64_t m = proto.num_destinations();
+  const int64_t k = proto.num_buckets();
+
+  std::vector<Tensor> out(static_cast<size_t>(horizon_),
+                          Tensor(Shape({b, n, m, k})));
+
+  for (int64_t bi = 0; bi < b; ++bi) {
+    const int64_t anchor = batch.anchor_intervals[static_cast<size_t>(bi)];
+    for (int64_t o = 0; o < n; ++o) {
+      for (int64_t d = 0; d < m; ++d) {
+        // Gather the most recent observations of this pair up to anchor.
+        std::vector<int64_t> times;
+        for (int64_t t = anchor;
+             t >= 0 && static_cast<int>(times.size()) <
+                           config_.max_observations;
+             --t) {
+          if (series_->at(t).IsObserved(o, d)) times.push_back(t);
+        }
+        std::reverse(times.begin(), times.end());
+
+        const float* fb = fallback_.data() + (o * m + d) * k;
+        if (static_cast<int>(times.size()) < config_.min_observations) {
+          for (int64_t j = 0; j < horizon_; ++j) {
+            float* dst = out[static_cast<size_t>(j)].data() +
+                         ((bi * n + o) * m + d) * k;
+            std::copy(fb, fb + k, dst);
+          }
+          continue;
+        }
+
+        // GP posterior mean: K_w alpha = (Y - mean); predict mean + k_*ᵀα.
+        const int64_t w = static_cast<int64_t>(times.size());
+        Tensor gram(Shape({w, w}));
+        for (int64_t i = 0; i < w; ++i) {
+          for (int64_t jj = 0; jj < w; ++jj) {
+            const double dt = static_cast<double>(times[static_cast<size_t>(i)] -
+                                                  times[static_cast<size_t>(jj)]);
+            gram.At2(i, jj) = static_cast<float>(
+                config_.signal_variance *
+                std::exp(-dt * dt / (2.0 * config_.length_scale *
+                                     config_.length_scale)));
+          }
+          gram.At2(i, i) += static_cast<float>(config_.noise_variance);
+        }
+        // Targets: per-bucket deviations from the pair's fallback mean.
+        Tensor y(Shape({w, k}));
+        for (int64_t i = 0; i < w; ++i) {
+          const OdTensor& tensor = series_->at(times[static_cast<size_t>(i)]);
+          for (int64_t bk = 0; bk < k; ++bk) {
+            y.At2(i, bk) = tensor.values().At3(o, d, bk) - fb[bk];
+          }
+        }
+        const Tensor alpha = CholeskySolve(gram, y);  // [w, k]
+
+        for (int64_t j = 0; j < horizon_; ++j) {
+          const double target_t = static_cast<double>(anchor + 1 + j);
+          std::vector<double> pred(static_cast<size_t>(k), 0.0);
+          for (int64_t i = 0; i < w; ++i) {
+            const double dt =
+                target_t - static_cast<double>(times[static_cast<size_t>(i)]);
+            const double kv =
+                config_.signal_variance *
+                std::exp(-dt * dt / (2.0 * config_.length_scale *
+                                     config_.length_scale));
+            for (int64_t bk = 0; bk < k; ++bk) {
+              pred[static_cast<size_t>(bk)] += kv * alpha.At2(i, bk);
+            }
+          }
+          // Posterior mean + fallback mean, clamped and renormalized.
+          double total = 0;
+          for (int64_t bk = 0; bk < k; ++bk) {
+            pred[static_cast<size_t>(bk)] =
+                std::max(0.0, pred[static_cast<size_t>(bk)] + fb[bk]);
+            total += pred[static_cast<size_t>(bk)];
+          }
+          float* dst = out[static_cast<size_t>(j)].data() +
+                       ((bi * n + o) * m + d) * k;
+          if (total <= 1e-9) {
+            std::copy(fb, fb + k, dst);
+          } else {
+            for (int64_t bk = 0; bk < k; ++bk) {
+              dst[bk] = static_cast<float>(pred[static_cast<size_t>(bk)] /
+                                           total);
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace odf

@@ -1,0 +1,53 @@
+#ifndef ODF_BASELINES_GP_H_
+#define ODF_BASELINES_GP_H_
+
+#include <string>
+#include <vector>
+
+#include "core/forecaster.h"
+
+namespace odf {
+
+/// Hyper-parameters of the GP baseline.
+struct GpConfig {
+  /// RBF kernel length scale in interval units.
+  double length_scale = 8.0;
+  /// Signal variance.
+  double signal_variance = 1.0;
+  /// Observation noise variance.
+  double noise_variance = 0.1;
+  /// Conditioning window: number of most recent observations per pair.
+  int max_observations = 12;
+  /// Minimum observations required; below this, fall back to NH.
+  int min_observations = 3;
+};
+
+/// GP — Gaussian Process Regression (paper baseline 4, [39]): each OD
+/// pair's histogram sequence is modelled as independent GP time series over
+/// interval indices (one GP output per bucket, shared kernel). At forecast
+/// time the GP conditions on the most recent observations before the anchor
+/// interval and its posterior mean at t+j is renormalized into a histogram.
+/// Pairs with too little history fall back to the NH mean.
+class GaussianProcessForecaster : public Forecaster {
+ public:
+  explicit GaussianProcessForecaster(GpConfig config = {})
+      : config_(config) {}
+
+  std::string name() const override { return "GP"; }
+
+  void Fit(const ForecastDataset& dataset,
+           const ForecastDataset::Split& split,
+           const TrainConfig& config) override;
+
+  std::vector<Tensor> Predict(const Batch& batch) override;
+
+ private:
+  GpConfig config_;
+  const OdTensorSeries* series_ = nullptr;
+  int64_t horizon_ = 0;
+  Tensor fallback_;  // NH mean tensor [N, N', K]
+};
+
+}  // namespace odf
+
+#endif  // ODF_BASELINES_GP_H_

@@ -1,0 +1,87 @@
+#include "baselines/naive_histogram.h"
+
+namespace odf {
+
+Tensor MeanHistogramTensor(const OdTensorSeries& series, int64_t limit) {
+  ODF_CHECK_GT(limit, 0);
+  ODF_CHECK_LE(limit, series.NumIntervals());
+  const OdTensor& proto = series.at(0);
+  const int64_t n = proto.num_origins();
+  const int64_t m = proto.num_destinations();
+  const int64_t k = proto.num_buckets();
+
+  Tensor sums(Shape({n, m, k}));
+  Tensor weights(Shape({n, m}));
+  std::vector<double> global(static_cast<size_t>(k), 0.0);
+  double global_weight = 0;
+
+  for (int64_t t = 0; t < limit; ++t) {
+    const OdTensor& tensor = series.at(t);
+    for (int64_t o = 0; o < n; ++o) {
+      for (int64_t d = 0; d < m; ++d) {
+        const float count = tensor.counts().At2(o, d);
+        if (count <= 0.0f) continue;
+        weights.At2(o, d) += count;
+        global_weight += count;
+        for (int64_t b = 0; b < k; ++b) {
+          const float p = tensor.values().At3(o, d, b) * count;
+          sums.At3(o, d, b) += p;
+          global[static_cast<size_t>(b)] += p;
+        }
+      }
+    }
+  }
+
+  // Global fallback: uniform if the series is completely empty.
+  std::vector<float> fallback(static_cast<size_t>(k),
+                              1.0f / static_cast<float>(k));
+  if (global_weight > 0) {
+    for (int64_t b = 0; b < k; ++b) {
+      fallback[static_cast<size_t>(b)] =
+          static_cast<float>(global[static_cast<size_t>(b)] / global_weight);
+    }
+  }
+
+  Tensor mean(Shape({n, m, k}));
+  for (int64_t o = 0; o < n; ++o) {
+    for (int64_t d = 0; d < m; ++d) {
+      const float w = weights.At2(o, d);
+      for (int64_t b = 0; b < k; ++b) {
+        mean.At3(o, d, b) = w > 0
+                                ? sums.At3(o, d, b) / w
+                                : fallback[static_cast<size_t>(b)];
+      }
+    }
+  }
+  return mean;
+}
+
+void NaiveHistogramForecaster::Fit(const ForecastDataset& dataset,
+                                   const ForecastDataset::Split& split,
+                                   const TrainConfig& /*config*/) {
+  ODF_CHECK(!split.train.empty());
+  horizon_ = dataset.horizon();
+  // Training data: everything up to and including the last training
+  // window's targets.
+  const int64_t limit =
+      dataset.AnchorInterval(split.train.back()) + dataset.horizon() + 1;
+  mean_tensor_ = MeanHistogramTensor(dataset.series(),
+                                     std::min(limit,
+                                              dataset.series().NumIntervals()));
+}
+
+std::vector<Tensor> NaiveHistogramForecaster::Predict(const Batch& batch) {
+  ODF_CHECK_GT(horizon_, 0) << "Fit() must run before Predict()";
+  const int64_t b = batch.batch_size();
+  const int64_t cell = mean_tensor_.numel();
+  std::vector<int64_t> dims = {b};
+  for (int64_t d : mean_tensor_.shape().dims()) dims.push_back(d);
+  Tensor tiled{Shape(dims)};
+  for (int64_t i = 0; i < b; ++i) {
+    std::copy(mean_tensor_.data(), mean_tensor_.data() + cell,
+              tiled.data() + i * cell);
+  }
+  return std::vector<Tensor>(static_cast<size_t>(horizon_), tiled);
+}
+
+}  // namespace odf

@@ -1,0 +1,40 @@
+#ifndef ODF_BASELINES_NAIVE_HISTOGRAM_H_
+#define ODF_BASELINES_NAIVE_HISTOGRAM_H_
+
+#include <string>
+#include <vector>
+
+#include "core/forecaster.h"
+
+namespace odf {
+
+/// NH — Naive Histograms (paper baseline 3): for each OD pair, the
+/// trip-count-weighted average of all training-period histograms of that
+/// pair is used as the forecast for every future interval. Pairs never
+/// observed during training fall back to the global mean histogram.
+class NaiveHistogramForecaster : public Forecaster {
+ public:
+  std::string name() const override { return "NH"; }
+
+  void Fit(const ForecastDataset& dataset,
+           const ForecastDataset::Split& split,
+           const TrainConfig& config) override;
+
+  std::vector<Tensor> Predict(const Batch& batch) override;
+
+  /// The fitted per-pair mean histograms [N, N', K] (every cell filled).
+  const Tensor& mean_tensor() const { return mean_tensor_; }
+
+ private:
+  Tensor mean_tensor_;
+  int64_t horizon_ = 0;
+};
+
+/// Shared helper: trip-count-weighted mean histogram tensor over intervals
+/// [0, limit) of a series, with global-mean fallback for unseen pairs.
+/// Used by NH and as the fallback of GP and VAR.
+Tensor MeanHistogramTensor(const OdTensorSeries& series, int64_t limit);
+
+}  // namespace odf
+
+#endif  // ODF_BASELINES_NAIVE_HISTOGRAM_H_

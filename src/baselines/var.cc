@@ -1,0 +1,165 @@
+#include "baselines/var.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "baselines/naive_histogram.h"
+#include "tensor/linalg.h"
+#include "tensor/tensor_ops.h"
+
+namespace odf {
+
+void VarForecaster::Fit(const ForecastDataset& dataset,
+                        const ForecastDataset::Split& split,
+                        const TrainConfig& /*config*/) {
+  ODF_CHECK(!split.train.empty());
+  series_ = &dataset.series();
+  horizon_ = dataset.horizon();
+  const int64_t limit = std::min(
+      dataset.AnchorInterval(split.train.back()) + dataset.horizon() + 1,
+      series_->NumIntervals());
+  fallback_ = MeanHistogramTensor(*series_, limit);
+
+  const OdTensor& proto = series_->at(0);
+  const int64_t n = proto.num_origins();
+  const int64_t m = proto.num_destinations();
+  const int64_t k = proto.num_buckets();
+
+  // Select the most-observed pairs in the training range.
+  std::vector<std::pair<double, int64_t>> activity;
+  activity.reserve(static_cast<size_t>(n * m));
+  for (int64_t pair = 0; pair < n * m; ++pair) {
+    double count = 0;
+    for (int64_t t = 0; t < limit; ++t) {
+      count += series_->at(t).counts()[pair];
+    }
+    if (count > 0) activity.push_back({count, pair});
+  }
+  std::sort(activity.begin(), activity.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  const size_t keep = std::min(activity.size(),
+                               static_cast<size_t>(config_.max_pairs));
+  pairs_.clear();
+  for (size_t i = 0; i < keep; ++i) {
+    pairs_.push_back({activity[i].second / m, activity[i].second % m});
+  }
+  if (pairs_.empty()) return;  // NH-only degenerate case
+
+  const int64_t dim = static_cast<int64_t>(pairs_.size()) * k;
+  const int64_t p = config_.order;
+  const int64_t rows = limit - p;
+  ODF_CHECK_GT(rows, p) << "training series too short for VAR";
+
+  // Design matrix X = [1, Y_{t-1}, ..., Y_{t-p}]; targets Y_t.
+  Tensor x(Shape({rows, 1 + p * dim}));
+  Tensor y(Shape({rows, dim}));
+  std::vector<std::vector<float>> states;
+  states.reserve(static_cast<size_t>(limit));
+  for (int64_t t = 0; t < limit; ++t) states.push_back(StateAt(t));
+  for (int64_t r = 0; r < rows; ++r) {
+    const int64_t t = r + p;
+    x.At2(r, 0) = 1.0f;
+    for (int64_t lag = 1; lag <= p; ++lag) {
+      const auto& state = states[static_cast<size_t>(t - lag)];
+      for (int64_t i = 0; i < dim; ++i) {
+        x.At2(r, 1 + (lag - 1) * dim + i) = state[static_cast<size_t>(i)];
+      }
+    }
+    const auto& target = states[static_cast<size_t>(t)];
+    for (int64_t i = 0; i < dim; ++i) y.At2(r, i) = target[static_cast<size_t>(i)];
+  }
+  coefficients_ = RidgeSolve(x, y, config_.ridge_lambda);
+}
+
+std::vector<float> VarForecaster::StateAt(int64_t t) const {
+  const OdTensor& tensor = series_->at(t);
+  const int64_t m = tensor.num_destinations();
+  const int64_t k = tensor.num_buckets();
+  std::vector<float> state;
+  state.reserve(pairs_.size() * static_cast<size_t>(k));
+  for (const auto& [o, d] : pairs_) {
+    const bool observed = tensor.IsObserved(o, d);
+    for (int64_t bk = 0; bk < k; ++bk) {
+      state.push_back(observed ? tensor.values().At3(o, d, bk)
+                               : fallback_.data()[(o * m + d) * k + bk]);
+    }
+  }
+  return state;
+}
+
+std::vector<Tensor> VarForecaster::Predict(const Batch& batch) {
+  ODF_CHECK(series_ != nullptr) << "Fit() must run before Predict()";
+  const int64_t b = batch.batch_size();
+  const OdTensor& proto = series_->at(0);
+  const int64_t n = proto.num_origins();
+  const int64_t m = proto.num_destinations();
+  const int64_t k = proto.num_buckets();
+  const int64_t cell = n * m * k;
+
+  // Start from the NH fallback everywhere; overwrite modeled pairs.
+  std::vector<Tensor> out;
+  out.reserve(static_cast<size_t>(horizon_));
+  for (int64_t j = 0; j < horizon_; ++j) {
+    Tensor tiled(Shape({b, n, m, k}));
+    for (int64_t bi = 0; bi < b; ++bi) {
+      std::copy(fallback_.data(), fallback_.data() + cell,
+                tiled.data() + bi * cell);
+    }
+    out.push_back(std::move(tiled));
+  }
+  if (pairs_.empty()) return out;
+
+  const int64_t dim = static_cast<int64_t>(pairs_.size()) * k;
+  const int64_t p = config_.order;
+
+  for (int64_t bi = 0; bi < b; ++bi) {
+    const int64_t anchor = batch.anchor_intervals[static_cast<size_t>(bi)];
+    // Lag window ending at the anchor.
+    std::vector<std::vector<float>> lags;
+    for (int64_t lag = 0; lag < p; ++lag) {
+      const int64_t t = std::max<int64_t>(0, anchor - lag);
+      lags.push_back(StateAt(t));
+    }
+    for (int64_t j = 0; j < horizon_; ++j) {
+      // ŷ = c + Σ A_i y_{t-i}.
+      std::vector<float> pred(static_cast<size_t>(dim), 0.0f);
+      for (int64_t i = 0; i < dim; ++i) {
+        double acc = coefficients_.At2(0, i);
+        for (int64_t lag = 1; lag <= p; ++lag) {
+          const auto& state = lags[static_cast<size_t>(lag - 1)];
+          for (int64_t jj = 0; jj < dim; ++jj) {
+            acc += coefficients_.At2(1 + (lag - 1) * dim + jj, i) *
+                   state[static_cast<size_t>(jj)];
+          }
+        }
+        pred[static_cast<size_t>(i)] = static_cast<float>(acc);
+      }
+      // Write normalized histograms for the modeled pairs.
+      for (size_t pi = 0; pi < pairs_.size(); ++pi) {
+        const auto [o, d] = pairs_[pi];
+        double total = 0;
+        for (int64_t bk = 0; bk < k; ++bk) {
+          const float v =
+              std::max(0.0f, pred[pi * static_cast<size_t>(k) +
+                                  static_cast<size_t>(bk)]);
+          total += v;
+        }
+        float* dst = out[static_cast<size_t>(j)].data() +
+                     ((bi * n + o) * m + d) * k;
+        if (total <= 1e-9) continue;  // keep fallback
+        for (int64_t bk = 0; bk < k; ++bk) {
+          dst[bk] = static_cast<float>(
+              std::max(0.0f, pred[pi * static_cast<size_t>(k) +
+                                  static_cast<size_t>(bk)]) /
+              total);
+        }
+      }
+      // Roll the lag window.
+      lags.insert(lags.begin(), pred);
+      lags.pop_back();
+    }
+  }
+  return out;
+}
+
+}  // namespace odf

@@ -1,0 +1,61 @@
+#ifndef ODF_BASELINES_VAR_H_
+#define ODF_BASELINES_VAR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/forecaster.h"
+
+namespace odf {
+
+/// Hyper-parameters of the VAR baseline.
+struct VarConfig {
+  /// Autoregressive order p.
+  int order = 3;
+  /// Joint model over the `max_pairs` most-observed OD pairs; remaining
+  /// pairs use the NH fallback. Keeps the regression tractable, as a full
+  /// N²K-dimensional VAR is rank-deficient on sparse data.
+  int max_pairs = 48;
+  /// Ridge regularization of the least-squares fit.
+  float ridge_lambda = 1.0f;
+};
+
+/// VAR — Multivariate Vector Autoregression (paper baseline 5, [40]): the
+/// histogram vectors of the most active OD pairs are stacked into one state
+/// vector whose linear dynamics (with cross-pair coefficients) are fitted by
+/// ridge least squares on the training series; forecasts roll the model
+/// forward from the anchor interval. Missing observations are imputed with
+/// the pair's NH mean.
+class VarForecaster : public Forecaster {
+ public:
+  explicit VarForecaster(VarConfig config = {}) : config_(config) {}
+
+  std::string name() const override { return "VAR"; }
+
+  void Fit(const ForecastDataset& dataset,
+           const ForecastDataset::Split& split,
+           const TrainConfig& config) override;
+
+  std::vector<Tensor> Predict(const Batch& batch) override;
+
+  /// Pairs covered by the joint model (exposed for tests).
+  int64_t num_modeled_pairs() const {
+    return static_cast<int64_t>(pairs_.size());
+  }
+
+ private:
+  /// State vector [D·K] at interval t (observed values or NH imputation).
+  std::vector<float> StateAt(int64_t t) const;
+
+  VarConfig config_;
+  const OdTensorSeries* series_ = nullptr;
+  int64_t horizon_ = 0;
+  Tensor fallback_;                        // [N, N', K]
+  std::vector<std::pair<int64_t, int64_t>> pairs_;  // modeled (o, d)
+  /// Coefficients [1 + p·D·K, D·K]: row 0 is the intercept.
+  Tensor coefficients_;
+};
+
+}  // namespace odf
+
+#endif  // ODF_BASELINES_VAR_H_

@@ -1,0 +1,121 @@
+#ifndef ODF_CORE_ADVANCED_FRAMEWORK_H_
+#define ODF_CORE_ADVANCED_FRAMEWORK_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/neural_forecaster.h"
+#include "graph/region_graph.h"
+#include "nn/cheb_conv.h"
+#include "nn/gcgru.h"
+#include "nn/graph_pool.h"
+#include "nn/gru.h"
+#include "nn/linear.h"
+
+namespace odf {
+
+/// Hyper-parameters of the advanced framework (paper Sec. V, Table I) plus
+/// the ablation switches called out in DESIGN.md §5.
+struct AdvancedFrameworkConfig {
+  /// Chebyshev order S of every graph convolution.
+  int64_t cheb_order = 3;
+  /// Filters Q of the intermediate factorization convolutions.
+  int64_t conv_filters = 8;
+  /// Conv+pool repetitions; each level halves the node count, so the
+  /// factorization rank is β ≈ n / 2^num_levels.
+  int64_t num_levels = 2;
+  /// Hidden features per node inside the CNRNN gates.
+  int64_t gcgru_hidden = 16;
+  /// Stacked CNRNN layers (Table I's "CNRNN with n layers").
+  int64_t gcgru_layers = 1;
+  /// Regularization weights λ_R, λ_C of Eq. 11.
+  float lambda_r = 1e-4f;
+  float lambda_c = 1e-4f;
+  /// Proximity-matrix parameters σ and α (Fig. 14 sweeps these).
+  ProximityParams proximity{1.0, 2.0};
+  /// Average vs max pooling in Eq. 6.
+  nn::PoolKind pool_kind = nn::PoolKind::kAverage;
+
+  // Ablation switches (all true = the paper's AF).
+  /// GCNN factorization stage (false → BF-style FC factorization).
+  bool use_graph_factorization = true;
+  /// Graclus cluster-ordered pooling (false → ascending-id pooling, the
+  /// ordering the paper argues is inferior).
+  bool use_cluster_pooling = true;
+  /// CNRNN forecasting (false → plain seq2seq GRU on flattened factors).
+  bool use_gcgru = true;
+  /// Dirichlet-norm factor regularizer (false → plain Frobenius as in BF).
+  bool use_dirichlet_regularizer = true;
+
+  uint64_t seed = 13;
+};
+
+/// AF — the advanced framework (paper Sec. V): dual-stage spatial modelling.
+/// Stage 1 factorizes each sparse tensor with Cheby-Net graph convolutions
+/// and cluster-ordered pooling over the origin/destination proximity graphs;
+/// stage 2 forecasts the factor sequences with CNRNNs (graph-convolutional
+/// GRUs); recovery is shared with BF. Trained with the Dirichlet-regularized
+/// masked loss (Eq. 11).
+class AdvancedFramework : public NeuralForecaster {
+ public:
+  AdvancedFramework(const RegionGraph& origin_graph,
+                    const RegionGraph& destination_graph,
+                    int64_t num_buckets, int64_t horizon,
+                    const AdvancedFrameworkConfig& config);
+
+  std::string name() const override { return "AF"; }
+  std::string Describe() const override;
+
+  autograd::Var Loss(const Batch& batch, bool train, Rng& rng) override;
+  std::vector<Tensor> Predict(const Batch& batch) override;
+
+  /// Factorization rank β implied by the pooling hierarchy.
+  int64_t rank() const { return rank_; }
+
+ private:
+  /// One conv+pool factorization branch over one graph.
+  struct FactorBranch {
+    std::vector<std::unique_ptr<nn::ChebConv>> convs;
+    std::vector<std::vector<std::vector<int64_t>>> clusters;  // per level
+    std::unique_ptr<nn::Linear> fc;  // ablation path
+    int64_t output_nodes = 0;
+  };
+
+  struct Forward {
+    std::vector<autograd::Var> predictions;
+    std::vector<autograd::Var> r_factors;  // [B, N, β, K]
+    std::vector<autograd::Var> c_factors;  // [B, β, N', K]
+  };
+
+  FactorBranch BuildBranch(const Tensor& w, int64_t num_slices);
+  /// Applies a branch to slices [B·slices, n, K] -> [B·slices, β, K].
+  autograd::Var ApplyBranch(const FactorBranch& branch,
+                            const autograd::Var& slices) const;
+  Forward Run(const Batch& batch, bool train, Rng& rng) const;
+
+  int64_t num_origins_;
+  int64_t num_destinations_;
+  int64_t num_buckets_;
+  int64_t horizon_;
+  int64_t rank_;
+  AdvancedFrameworkConfig config_;
+  Rng init_rng_;
+
+  Tensor origin_laplacian_;       // L (unscaled, Dirichlet norm)
+  Tensor destination_laplacian_;  // L'
+
+  FactorBranch r_branch_;  // convolves over the destination graph
+  FactorBranch c_branch_;  // convolves over the origin graph
+
+  std::unique_ptr<nn::Seq2SeqGcGru> r_seq_gc_;
+  std::unique_ptr<nn::Seq2SeqGcGru> c_seq_gc_;
+  std::unique_ptr<nn::Seq2SeqGru> r_seq_fc_;  // ablation path
+  std::unique_ptr<nn::Seq2SeqGru> c_seq_fc_;
+  /// Learnable softmax temperature of the recovery step.
+  autograd::Var temperature_;
+};
+
+}  // namespace odf
+
+#endif  // ODF_CORE_ADVANCED_FRAMEWORK_H_

@@ -1,0 +1,51 @@
+#ifndef ODF_CORE_EXPERIMENT_H_
+#define ODF_CORE_EXPERIMENT_H_
+
+#include <vector>
+
+#include "core/forecaster.h"
+#include "graph/region_graph.h"
+#include "metrics/evaluation.h"
+#include "od/trip.h"
+
+namespace odf {
+
+/// Slices one batched prediction step [B, N, N', K] into the b-th sample's
+/// tensor [N, N', K].
+Tensor SamplePrediction(const Tensor& batched, int64_t b);
+
+/// Evaluates a fitted forecaster on the given test windows.
+/// Returns one accumulator per horizon step (paper Table II rows: the
+/// k-step-ahead DisSim for each metric).
+std::vector<MetricAccumulator> EvaluateForecaster(
+    Forecaster& model, const ForecastDataset& dataset,
+    const std::vector<int64_t>& samples, int64_t batch_size);
+
+/// Per-time-of-day evaluation of 1-step-ahead forecasts (paper Figs. 8–10):
+/// results are grouped into `bin_hours`-hour bins of the target interval's
+/// start hour; `data_share[bin]` reports the fraction of observed test cells
+/// falling in each bin (the bar series in the figures).
+struct TimeOfDayResult {
+  std::vector<MetricAccumulator> bins;
+  std::vector<double> data_share;
+};
+TimeOfDayResult EvaluateByTimeOfDay(Forecaster& model,
+                                    const ForecastDataset& dataset,
+                                    const std::vector<int64_t>& samples,
+                                    const TimePartition& time_partition,
+                                    int bin_hours, int64_t batch_size);
+
+/// Per-OD-distance evaluation of 1-step-ahead forecasts (paper
+/// Figs. 11–13): pairs are bucketed by centroid distance with bucket edges
+/// `edges_km` (bucket i covers [edges_km[i], edges_km[i+1])); pairs beyond
+/// the last edge are skipped, mirroring the paper's exclusion of >3 km
+/// pairs.
+std::vector<MetricAccumulator> EvaluateByDistance(
+    Forecaster& model, const ForecastDataset& dataset,
+    const std::vector<int64_t>& samples, const RegionGraph& origin_graph,
+    const RegionGraph& destination_graph,
+    const std::vector<double>& edges_km, int64_t batch_size);
+
+}  // namespace odf
+
+#endif  // ODF_CORE_EXPERIMENT_H_

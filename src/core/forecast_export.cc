@@ -1,0 +1,63 @@
+#include "core/forecast_export.h"
+
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace odf {
+
+bool ExportForecastCsv(const Tensor& forecast,
+                       const SpeedHistogramSpec& spec,
+                       const std::string& path) {
+  ODF_CHECK_EQ(forecast.rank(), 3);
+  ODF_CHECK_EQ(forecast.dim(2), spec.num_buckets());
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  bool ok = std::fprintf(
+                file, "origin,destination,speed_lo_ms,speed_hi_ms,"
+                      "probability\n") > 0;
+  const int64_t n = forecast.dim(0);
+  const int64_t m = forecast.dim(1);
+  const int k = spec.num_buckets();
+  for (int64_t o = 0; o < n && ok; ++o) {
+    for (int64_t d = 0; d < m && ok; ++d) {
+      for (int b = 0; b < k && ok; ++b) {
+        const double lo = b * spec.bucket_width_ms();
+        if (b + 1 == k) {
+          ok = std::fprintf(file, "%lld,%lld,%.1f,inf,%.6f\n",
+                            static_cast<long long>(o),
+                            static_cast<long long>(d), lo,
+                            forecast.At3(o, d, b)) > 0;
+        } else {
+          ok = std::fprintf(file, "%lld,%lld,%.1f,%.1f,%.6f\n",
+                            static_cast<long long>(o),
+                            static_cast<long long>(d), lo,
+                            lo + spec.bucket_width_ms(),
+                            forecast.At3(o, d, b)) > 0;
+        }
+      }
+    }
+  }
+  return std::fclose(file) == 0 && ok;
+}
+
+Tensor ExpectedSpeedMatrix(const Tensor& forecast,
+                           const SpeedHistogramSpec& spec) {
+  ODF_CHECK_EQ(forecast.rank(), 3);
+  ODF_CHECK_EQ(forecast.dim(2), spec.num_buckets());
+  const int64_t n = forecast.dim(0);
+  const int64_t m = forecast.dim(1);
+  Tensor speeds(Shape({n, m}));
+  for (int64_t o = 0; o < n; ++o) {
+    for (int64_t d = 0; d < m; ++d) {
+      double mean = 0;
+      for (int b = 0; b < spec.num_buckets(); ++b) {
+        mean += forecast.At3(o, d, b) * spec.BucketMidpointMs(b);
+      }
+      speeds.At2(o, d) = static_cast<float>(mean);
+    }
+  }
+  return speeds;
+}
+
+}  // namespace odf

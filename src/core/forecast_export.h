@@ -1,0 +1,30 @@
+#ifndef ODF_CORE_FORECAST_EXPORT_H_
+#define ODF_CORE_FORECAST_EXPORT_H_
+
+#include <string>
+
+#include "od/histogram.h"
+#include "tensor/tensor.h"
+
+namespace odf {
+
+/// Serializes one forecast OD tensor [N, N', K] as CSV for downstream
+/// consumers (routing engines, dashboards): one row per (origin,
+/// destination, bucket) with the bucket's speed range in m/s. The last
+/// bucket's upper edge is written as `inf`.
+///
+/// Header: `origin,destination,speed_lo_ms,speed_hi_ms,probability`.
+/// Returns false on I/O failure.
+bool ExportForecastCsv(const Tensor& forecast,
+                       const SpeedHistogramSpec& spec,
+                       const std::string& path);
+
+/// Convenience: expected speed (m/s) per OD pair as an [N, N'] tensor,
+/// using bucket midpoints (open tail uses its midpoint convention from
+/// SpeedHistogramSpec). This is what a deterministic consumer would read.
+Tensor ExpectedSpeedMatrix(const Tensor& forecast,
+                           const SpeedHistogramSpec& spec);
+
+}  // namespace odf
+
+#endif  // ODF_CORE_FORECAST_EXPORT_H_

@@ -1,0 +1,37 @@
+#ifndef ODF_CORE_LOSS_UTIL_H_
+#define ODF_CORE_LOSS_UTIL_H_
+
+#include <vector>
+
+#include "autograd/ops.h"
+#include "od/dataset.h"
+
+namespace odf {
+
+/// Number of observed scalar cells in a mask tensor (≥ 1 to keep losses
+/// well-defined on fully-unobserved steps).
+inline float MaskCellCount(const Tensor& mask) {
+  double total = 0;
+  for (int64_t i = 0; i < mask.numel(); ++i) total += mask[i];
+  return total < 1.0 ? 1.0f : static_cast<float>(total);
+}
+
+/// Masked forecast error Σ_j ||Ω^(t+j) ∘ (M̂ − M)||²_F / |Ω| (the data term
+/// of paper Eqs. 4 and 11), averaged per observed cell so that sparsity and
+/// batch size do not rescale the objective.
+inline autograd::Var MaskedForecastError(
+    const std::vector<autograd::Var>& predictions, const Batch& batch) {
+  ODF_CHECK_EQ(predictions.size(), batch.targets.size());
+  autograd::Var total = autograd::Var::Constant(Tensor::Scalar(0.0f));
+  for (size_t j = 0; j < predictions.size(); ++j) {
+    total = autograd::Add(
+        total, autograd::MaskedSquaredError(
+                   predictions[j], batch.targets[j], batch.target_masks[j],
+                   MaskCellCount(batch.target_masks[j])));
+  }
+  return total;
+}
+
+}  // namespace odf
+
+#endif  // ODF_CORE_LOSS_UTIL_H_

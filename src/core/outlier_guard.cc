@@ -1,0 +1,43 @@
+#include "core/outlier_guard.h"
+
+#include "metrics/divergence.h"
+#include "util/check.h"
+
+namespace odf {
+
+OutlierGuard::OutlierGuard(Tensor prior, double js_threshold, double blend)
+    : prior_(std::move(prior)),
+      js_threshold_(js_threshold),
+      blend_(blend) {
+  ODF_CHECK_EQ(prior_.rank(), 3);
+  ODF_CHECK_GT(js_threshold_, 0.0);
+  ODF_CHECK_GE(blend_, 0.0);
+  ODF_CHECK_LE(blend_, 1.0);
+}
+
+Tensor OutlierGuard::Apply(const Tensor& forecast) const {
+  const bool batched = forecast.rank() == 4;
+  ODF_CHECK(batched || forecast.rank() == 3);
+  const int64_t cells = prior_.numel();
+  const int64_t k = prior_.dim(2);
+  const int64_t batch = batched ? forecast.dim(0) : 1;
+  ODF_CHECK_EQ(forecast.numel(), batch * cells)
+      << "forecast shape incompatible with prior";
+
+  Tensor guarded = forecast;
+  last_outliers_ = 0;
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t cell = 0; cell < cells / k; ++cell) {
+      float* f = guarded.data() + b * cells + cell * k;
+      const float* p = prior_.data() + cell * k;
+      if (JsDivergence(p, f, k) <= js_threshold_) continue;
+      ++last_outliers_;
+      for (int64_t i = 0; i < k; ++i) {
+        f[i] = static_cast<float>((1.0 - blend_) * f[i] + blend_ * p[i]);
+      }
+    }
+  }
+  return guarded;
+}
+
+}  // namespace odf

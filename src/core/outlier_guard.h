@@ -1,0 +1,38 @@
+#ifndef ODF_CORE_OUTLIER_GUARD_H_
+#define ODF_CORE_OUTLIER_GUARD_H_
+
+#include "tensor/tensor.h"
+
+namespace odf {
+
+/// Post-processor implementing the paper's Sec. VII future-work note on
+/// avoiding outlier predictions: each forecast histogram is compared (by JS
+/// divergence) against a per-pair prior — typically the NH training mean —
+/// and cells that stray beyond `js_threshold` are blended back toward the
+/// prior:
+///   guarded = (1 − blend) · forecast + blend · prior.
+/// In-distribution cells pass through untouched, so accuracy on normal
+/// forecasts is unchanged while pathological cells are damped.
+class OutlierGuard {
+ public:
+  /// `prior` is [N, N', K] with a valid histogram in every cell.
+  OutlierGuard(Tensor prior, double js_threshold = 0.35,
+               double blend = 0.7);
+
+  /// Applies the guard to a batched forecast [B, N, N', K] (or a single
+  /// [N, N', K] tensor). Returns a tensor of the same shape.
+  Tensor Apply(const Tensor& forecast) const;
+
+  /// Number of cells damped by the most recent Apply().
+  int64_t last_outlier_count() const { return last_outliers_; }
+
+ private:
+  Tensor prior_;
+  double js_threshold_;
+  double blend_;
+  mutable int64_t last_outliers_ = 0;
+};
+
+}  // namespace odf
+
+#endif  // ODF_CORE_OUTLIER_GUARD_H_

@@ -1,0 +1,40 @@
+#include "core/recovery.h"
+
+namespace odf {
+
+namespace ag = odf::autograd;
+
+ag::Var FactorProduct(const ag::Var& r, const ag::Var& c) {
+  ODF_CHECK_EQ(r.rank(), 4);
+  ODF_CHECK_EQ(c.rank(), 4);
+  const int64_t batch = r.dim(0);
+  const int64_t n = r.dim(1);
+  const int64_t beta = r.dim(2);
+  const int64_t k = r.dim(3);
+  ODF_CHECK_EQ(c.dim(0), batch);
+  ODF_CHECK_EQ(c.dim(1), beta);
+  const int64_t m = c.dim(2);
+  ODF_CHECK_EQ(c.dim(3), k);
+
+  // [B,N,β,K] -> [B,K,N,β] -> [B·K, N, β]
+  ag::Var r_mat = ag::Reshape(ag::Permute(r, {0, 3, 1, 2}),
+                              {batch * k, n, beta});
+  // [B,β,N',K] -> [B,K,β,N'] -> [B·K, β, N']
+  ag::Var c_mat = ag::Reshape(ag::Permute(c, {0, 3, 1, 2}),
+                              {batch * k, beta, m});
+  ag::Var prod = ag::BatchMatMul(r_mat, c_mat);  // [B·K, N, N']
+  // -> [B, K, N, N'] -> [B, N, N', K]
+  return ag::Permute(ag::Reshape(prod, {batch, k, n, m}), {0, 2, 3, 1});
+}
+
+ag::Var RecoverFullTensor(const ag::Var& r, const ag::Var& c) {
+  return ag::SoftmaxLastDim(FactorProduct(r, c));
+}
+
+ag::Var RecoverFullTensorWithTemperature(const ag::Var& r, const ag::Var& c,
+                                         const ag::Var& temperature) {
+  ODF_CHECK_EQ(temperature.value().numel(), 1);
+  return ag::SoftmaxLastDim(ag::Mul(FactorProduct(r, c), temperature));
+}
+
+}  // namespace odf

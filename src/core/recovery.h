@@ -1,0 +1,32 @@
+#ifndef ODF_CORE_RECOVERY_H_
+#define ODF_CORE_RECOVERY_H_
+
+#include "autograd/ops.h"
+
+namespace odf {
+
+/// Recovery step shared by BF and AF (paper Sec. IV-D):
+/// given factor tensors R̂ [B, N, β, K] and Ĉ [B, β, N', K], forms the
+/// per-bucket matrix product
+///   M̃[b, o, d, k] = Σ_β R̂[b, o, β, k] · Ĉ[b, β, d, k]
+/// and normalizes each cell's bucket vector with a softmax, yielding a full
+/// OD stochastic speed tensor [B, N, N', K] whose cells are valid histograms.
+autograd::Var RecoverFullTensor(const autograd::Var& r,
+                                const autograd::Var& c);
+
+/// Recovery with a (typically learnable) softmax temperature: the factor
+/// product is scaled by `temperature` (shape {1}) before the softmax. Small
+/// random factors at initialization otherwise pin the softmax near uniform
+/// and starve the gradient; a learnable scale lets the model sharpen its
+/// histograms.
+autograd::Var RecoverFullTensorWithTemperature(
+    const autograd::Var& r, const autograd::Var& c,
+    const autograd::Var& temperature);
+
+/// The matrix-product part of recovery without the softmax (exposed for
+/// tests and for models that apply their own output transform).
+autograd::Var FactorProduct(const autograd::Var& r, const autograd::Var& c);
+
+}  // namespace odf
+
+#endif  // ODF_CORE_RECOVERY_H_

@@ -1,0 +1,115 @@
+#include "core/trainer.h"
+
+#include <limits>
+
+#include "nn/optimizer.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace odf {
+
+namespace {
+
+/// Mean model loss over `samples` with dropout disabled.
+float EvaluateLoss(NeuralForecaster& model, const ForecastDataset& dataset,
+                   const std::vector<int64_t>& samples, int64_t batch_size,
+                   Rng& rng) {
+  double total = 0;
+  int64_t batches = 0;
+  for (size_t start = 0; start < samples.size();
+       start += static_cast<size_t>(batch_size)) {
+    const size_t end =
+        std::min(samples.size(), start + static_cast<size_t>(batch_size));
+    const std::vector<int64_t> indices(
+        samples.begin() + static_cast<int64_t>(start),
+        samples.begin() + static_cast<int64_t>(end));
+    Batch batch = dataset.MakeBatch(indices);
+    total += model.Loss(batch, /*train=*/false, rng).value().Item();
+    ++batches;
+  }
+  return batches == 0 ? 0.0f : static_cast<float>(total / batches);
+}
+
+}  // namespace
+
+TrainResult TrainForecaster(NeuralForecaster& model,
+                            const ForecastDataset& dataset,
+                            const ForecastDataset::Split& split,
+                            const TrainConfig& config) {
+  ODF_CHECK(!split.train.empty());
+  Rng rng(config.seed);
+  model.set_dropout_rate(config.dropout);
+  nn::Adam optimizer(model.Parameters(), config.learning_rate);
+  nn::StepDecaySchedule schedule(config.learning_rate, config.lr_decay,
+                                 config.lr_decay_every_epochs);
+  const std::vector<int64_t>& val_samples =
+      split.validation.empty() ? split.train : split.validation;
+
+  TrainResult result;
+  result.best_validation_loss = std::numeric_limits<float>::infinity();
+  std::vector<Tensor> best_weights;
+  int stale_epochs = 0;
+  Stopwatch watch;
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    schedule.Apply(optimizer, epoch);
+    double epoch_loss = 0;
+    int64_t batches = 0;
+    for (const auto& indices :
+         dataset.ShuffledBatches(split.train, config.batch_size, rng)) {
+      Batch batch = dataset.MakeBatch(indices);
+      optimizer.ZeroGrad();
+      autograd::Var loss = model.Loss(batch, /*train=*/true, rng);
+      loss.Backward();
+      optimizer.ClipGradNorm(config.grad_clip_norm);
+      optimizer.Step();
+      epoch_loss += loss.value().Item();
+      ++batches;
+    }
+    const float train_loss =
+        batches == 0 ? 0.0f : static_cast<float>(epoch_loss / batches);
+    const float val_loss =
+        EvaluateLoss(model, dataset, val_samples, config.batch_size, rng);
+    result.train_losses.push_back(train_loss);
+    result.validation_losses.push_back(val_loss);
+    result.epochs_run = epoch + 1;
+
+    if (config.verbose) {
+      ODF_LOG(Info) << model.name() << " epoch " << epoch << " train "
+                    << train_loss << " val " << val_loss << " lr "
+                    << optimizer.learning_rate() << " ("
+                    << watch.ElapsedSeconds() << "s)";
+    }
+
+    if (val_loss < result.best_validation_loss) {
+      result.best_validation_loss = val_loss;
+      result.best_epoch = epoch;
+      stale_epochs = 0;
+      best_weights.clear();
+      for (const auto& p : model.Parameters()) {
+        best_weights.push_back(p.value());
+      }
+    } else {
+      ++stale_epochs;
+      if (stale_epochs > config.patience) break;
+    }
+  }
+
+  // Restore the best-validation weights.
+  if (!best_weights.empty()) {
+    auto params = model.Parameters();
+    ODF_CHECK_EQ(params.size(), best_weights.size());
+    for (size_t i = 0; i < params.size(); ++i) {
+      params[i].SetValue(best_weights[i]);
+    }
+  }
+  return result;
+}
+
+void NeuralForecaster::Fit(const ForecastDataset& dataset,
+                           const ForecastDataset::Split& split,
+                           const TrainConfig& config) {
+  TrainForecaster(*this, dataset, split, config);
+}
+
+}  // namespace odf

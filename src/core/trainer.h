@@ -1,0 +1,30 @@
+#ifndef ODF_CORE_TRAINER_H_
+#define ODF_CORE_TRAINER_H_
+
+#include <vector>
+
+#include "core/neural_forecaster.h"
+
+namespace odf {
+
+/// Outcome of one training run.
+struct TrainResult {
+  std::vector<float> train_losses;       // per epoch
+  std::vector<float> validation_losses;  // per epoch (train set if no val)
+  float best_validation_loss = 0.0f;
+  int best_epoch = -1;
+  int epochs_run = 0;
+};
+
+/// Shared training loop for every NeuralForecaster (paper Sec. VI-A-5):
+/// Adam with step-decayed learning rate, gradient-norm clipping, dropout
+/// inside the model's Loss, early stopping on the validation loss, and
+/// restoration of the best-validation weights at the end.
+TrainResult TrainForecaster(NeuralForecaster& model,
+                            const ForecastDataset& dataset,
+                            const ForecastDataset::Split& split,
+                            const TrainConfig& config);
+
+}  // namespace odf
+
+#endif  // ODF_CORE_TRAINER_H_

@@ -1,0 +1,102 @@
+#include "graph/coarsen.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace odf {
+
+Tensor CoarseWeights(const Tensor& w,
+                     const std::vector<std::vector<int64_t>>& clusters) {
+  const int64_t nc = static_cast<int64_t>(clusters.size());
+  Tensor coarse(Shape({nc, nc}));
+  for (int64_t a = 0; a < nc; ++a) {
+    for (int64_t b = a + 1; b < nc; ++b) {
+      double total = 0;
+      for (int64_t i : clusters[static_cast<size_t>(a)]) {
+        for (int64_t j : clusters[static_cast<size_t>(b)]) {
+          total += w.At2(i, j);
+        }
+      }
+      coarse.At2(a, b) = static_cast<float>(total);
+      coarse.At2(b, a) = static_cast<float>(total);
+    }
+  }
+  return coarse;
+}
+
+CoarseningLevel CoarsenOnce(const Tensor& w) {
+  ODF_CHECK_EQ(w.rank(), 2);
+  const int64_t n = w.dim(0);
+  ODF_CHECK_EQ(n, w.dim(1));
+
+  std::vector<double> degree(static_cast<size_t>(n), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) degree[static_cast<size_t>(i)] += w.At2(i, j);
+  }
+
+  // Visit in increasing-degree order (Graclus heuristic: peripheral nodes
+  // first, so dense cores don't exhaust all partners early).
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    return degree[static_cast<size_t>(a)] < degree[static_cast<size_t>(b)];
+  });
+
+  std::vector<bool> matched(static_cast<size_t>(n), false);
+  CoarseningLevel level;
+  for (int64_t i : order) {
+    if (matched[static_cast<size_t>(i)]) continue;
+    matched[static_cast<size_t>(i)] = true;
+    int64_t best = -1;
+    double best_score = 0.0;
+    for (int64_t j = 0; j < n; ++j) {
+      if (matched[static_cast<size_t>(j)] || w.At2(i, j) <= 0.0f) continue;
+      const double di = std::max(degree[static_cast<size_t>(i)], 1e-12);
+      const double dj = std::max(degree[static_cast<size_t>(j)], 1e-12);
+      const double score = w.At2(i, j) * (1.0 / di + 1.0 / dj);
+      if (score > best_score) {
+        best_score = score;
+        best = j;
+      }
+    }
+    if (best >= 0) {
+      matched[static_cast<size_t>(best)] = true;
+      level.clusters.push_back({i, best});
+    } else {
+      level.clusters.push_back({i});
+    }
+  }
+  level.coarse_w = CoarseWeights(w, level.clusters);
+  return level;
+}
+
+std::vector<CoarseningLevel> BuildCoarseningHierarchy(const Tensor& w,
+                                                      int num_levels) {
+  ODF_CHECK_GE(num_levels, 1);
+  std::vector<CoarseningLevel> levels;
+  Tensor current = w;
+  for (int l = 0; l < num_levels; ++l) {
+    CoarseningLevel level = CoarsenOnce(current);
+    current = level.coarse_w;
+    levels.push_back(std::move(level));
+    if (current.dim(0) <= 1) break;
+  }
+  return levels;
+}
+
+std::vector<std::vector<int64_t>> NaiveClusters(int64_t n, int64_t p) {
+  ODF_CHECK_GT(p, 0);
+  std::vector<std::vector<int64_t>> clusters;
+  for (int64_t start = 0; start < n; start += p) {
+    std::vector<int64_t> cluster;
+    for (int64_t i = start; i < std::min(start + p, n); ++i) {
+      cluster.push_back(i);
+    }
+    clusters.push_back(std::move(cluster));
+  }
+  return clusters;
+}
+
+}  // namespace odf

@@ -1,0 +1,42 @@
+#ifndef ODF_GRAPH_COARSEN_H_
+#define ODF_GRAPH_COARSEN_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace odf {
+
+/// One graph-coarsening level used by cluster-ordered pooling (paper
+/// Sec. V-A-2 "Pooling"): `clusters[c]` lists the finer-level node indices
+/// merged into coarse node `c`, and `coarse_w` is the induced coarse
+/// proximity matrix.
+struct CoarseningLevel {
+  std::vector<std::vector<int64_t>> clusters;
+  Tensor coarse_w;
+};
+
+/// Greedy Graclus-style pairwise coarsening of a symmetric weight matrix:
+/// unmatched nodes are visited in increasing-degree order and paired with
+/// the unmatched neighbour maximizing w_ij·(1/d_i + 1/d_j); leftovers stay
+/// singleton clusters. This realizes the paper's requirement that pooled
+/// elements be spatial neighbours.
+CoarseningLevel CoarsenOnce(const Tensor& w);
+
+/// Stacks `num_levels` pairwise coarsenings (each roughly halves the node
+/// count).
+std::vector<CoarseningLevel> BuildCoarseningHierarchy(const Tensor& w,
+                                                      int num_levels);
+
+/// Ablation baseline: clusters formed by ascending region id, `p` per
+/// cluster — the ordering the paper shows to be inferior.
+std::vector<std::vector<int64_t>> NaiveClusters(int64_t n, int64_t p);
+
+/// Induced coarse weight matrix for an arbitrary clustering:
+/// W_c[a,b] = Σ_{i∈a, j∈b} w_ij for a≠b, zero diagonal.
+Tensor CoarseWeights(const Tensor& w,
+                     const std::vector<std::vector<int64_t>>& clusters);
+
+}  // namespace odf
+
+#endif  // ODF_GRAPH_COARSEN_H_

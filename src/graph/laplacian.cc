@@ -1,0 +1,65 @@
+#include "graph/laplacian.h"
+
+#include <cmath>
+
+#include "tensor/linalg.h"
+#include "tensor/tensor_ops.h"
+
+namespace odf {
+
+Tensor DegreeMatrix(const Tensor& w) {
+  ODF_CHECK_EQ(w.rank(), 2);
+  const int64_t n = w.dim(0);
+  ODF_CHECK_EQ(n, w.dim(1));
+  Tensor d(Shape({n, n}));
+  for (int64_t i = 0; i < n; ++i) {
+    double degree = 0;
+    for (int64_t j = 0; j < n; ++j) degree += w.At2(i, j);
+    d.At2(i, i) = static_cast<float>(degree);
+  }
+  return d;
+}
+
+Tensor Laplacian(const Tensor& w) { return Sub(DegreeMatrix(w), w); }
+
+Tensor NormalizedLaplacian(const Tensor& w) {
+  ODF_CHECK_EQ(w.rank(), 2);
+  const int64_t n = w.dim(0);
+  ODF_CHECK_EQ(n, w.dim(1));
+  std::vector<double> inv_sqrt_deg(static_cast<size_t>(n), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    double degree = 0;
+    for (int64_t j = 0; j < n; ++j) degree += w.At2(i, j);
+    if (degree > 0) inv_sqrt_deg[static_cast<size_t>(i)] = 1.0 / std::sqrt(degree);
+  }
+  Tensor l = Tensor::Identity(n);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      if (w.At2(i, j) == 0.0f) continue;
+      l.At2(i, j) -= static_cast<float>(w.At2(i, j) *
+                                        inv_sqrt_deg[static_cast<size_t>(i)] *
+                                        inv_sqrt_deg[static_cast<size_t>(j)]);
+    }
+  }
+  return l;
+}
+
+float LaplacianMaxEigenvalue(const Tensor& laplacian) {
+  const float eig = PowerIterationMaxEigenvalue(laplacian, 200);
+  // Laplacians are PSD; numerical noise can give a tiny negative value.
+  return eig < 0.0f ? 0.0f : eig;
+}
+
+Tensor ScaledLaplacian(const Tensor& laplacian, float lambda_max) {
+  ODF_CHECK_EQ(laplacian.rank(), 2);
+  const int64_t n = laplacian.dim(0);
+  ODF_CHECK_EQ(n, laplacian.dim(1));
+  if (lambda_max <= 0.0f) lambda_max = LaplacianMaxEigenvalue(laplacian);
+  // Degenerate graph (no edges): L = 0, use L̂ = -I per the formula's limit.
+  if (lambda_max <= 1e-12f) lambda_max = 2.0f;
+  Tensor scaled = MulScalar(laplacian, 2.0f / lambda_max);
+  for (int64_t i = 0; i < n; ++i) scaled.At2(i, i) -= 1.0f;
+  return scaled;
+}
+
+}  // namespace odf

@@ -1,0 +1,31 @@
+#ifndef ODF_GRAPH_LAPLACIAN_H_
+#define ODF_GRAPH_LAPLACIAN_H_
+
+#include "tensor/tensor.h"
+
+namespace odf {
+
+// Spectral graph operators used by the Cheby-Net convolutions (paper
+// Sec. V-A-2). All inputs are symmetric n×n weight matrices with zero
+// diagonal.
+
+/// Diagonal degree matrix D with D_ii = Σ_j W_ij.
+Tensor DegreeMatrix(const Tensor& w);
+
+/// Combinatorial Laplacian L = D − W.
+Tensor Laplacian(const Tensor& w);
+
+/// Symmetric-normalized Laplacian L = I − D^{-1/2} W D^{-1/2}
+/// (isolated nodes contribute identity rows).
+Tensor NormalizedLaplacian(const Tensor& w);
+
+/// Largest eigenvalue of a symmetric Laplacian (power iteration).
+float LaplacianMaxEigenvalue(const Tensor& laplacian);
+
+/// Chebyshev-scaled Laplacian L̂ = 2 L / λ_max − I (paper Eq. after (5)).
+/// If `lambda_max` <= 0 it is computed internally.
+Tensor ScaledLaplacian(const Tensor& laplacian, float lambda_max = -1.0f);
+
+}  // namespace odf
+
+#endif  // ODF_GRAPH_LAPLACIAN_H_

@@ -1,0 +1,79 @@
+#include "graph/region_graph.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace odf {
+
+RegionGraph::RegionGraph(std::vector<Region> regions)
+    : regions_(std::move(regions)) {
+  ODF_CHECK(!regions_.empty());
+}
+
+RegionGraph RegionGraph::Grid(int rows, int cols, double cell_km) {
+  ODF_CHECK_GT(rows, 0);
+  ODF_CHECK_GT(cols, 0);
+  ODF_CHECK_GT(cell_km, 0.0);
+  std::vector<Region> regions;
+  regions.reserve(static_cast<size_t>(rows) * static_cast<size_t>(cols));
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      regions.push_back(Region{(c + 0.5) * cell_km, (r + 0.5) * cell_km});
+    }
+  }
+  return RegionGraph(std::move(regions));
+}
+
+RegionGraph RegionGraph::IrregularCity(int num_regions, double width_km,
+                                       double height_km, uint64_t seed) {
+  ODF_CHECK_GT(num_regions, 0);
+  Rng rng(seed);
+  // Quasi-regular layout with jitter: place centroids on a loose grid and
+  // perturb, which yields heterogeneous region sizes like a main-road
+  // partition without degenerate overlaps.
+  const int cols = static_cast<int>(std::ceil(std::sqrt(
+      static_cast<double>(num_regions) * width_km / height_km)));
+  const int rows = (num_regions + cols - 1) / cols;
+  const double cell_w = width_km / cols;
+  const double cell_h = height_km / rows;
+  std::vector<Region> regions;
+  regions.reserve(static_cast<size_t>(num_regions));
+  for (int i = 0; i < num_regions; ++i) {
+    const int r = i / cols;
+    const int c = i % cols;
+    const double jitter_x = rng.Uniform(-0.35, 0.35) * cell_w;
+    const double jitter_y = rng.Uniform(-0.35, 0.35) * cell_h;
+    regions.push_back(Region{(c + 0.5) * cell_w + jitter_x,
+                             (r + 0.5) * cell_h + jitter_y});
+  }
+  return RegionGraph(std::move(regions));
+}
+
+double RegionGraph::DistanceKm(int64_t i, int64_t j) const {
+  const Region& a = region(i);
+  const Region& b = region(j);
+  const double dx = a.centroid_x_km - b.centroid_x_km;
+  const double dy = a.centroid_y_km - b.centroid_y_km;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+Tensor RegionGraph::ProximityMatrix(const ProximityParams& params) const {
+  ODF_CHECK_GT(params.sigma, 0.0);
+  ODF_CHECK_GT(params.alpha, 0.0);
+  const int64_t n = size();
+  Tensor w(Shape({n, n}));
+  const double inv_sigma_sq = 1.0 / (params.sigma * params.sigma);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      const double d = DistanceKm(i, j);
+      if (d > params.alpha) continue;
+      const float v = static_cast<float>(std::exp(-d * d * inv_sigma_sq));
+      w.At2(i, j) = v;
+      w.At2(j, i) = v;
+    }
+  }
+  return w;
+}
+
+}  // namespace odf

@@ -1,0 +1,65 @@
+#ifndef ODF_GRAPH_REGION_GRAPH_H_
+#define ODF_GRAPH_REGION_GRAPH_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace odf {
+
+/// A city region (paper Sec. III): identified by its index in the partition,
+/// located by its centroid in kilometre coordinates.
+struct Region {
+  double centroid_x_km = 0.0;
+  double centroid_y_km = 0.0;
+};
+
+/// Parameters of the Gaussian proximity kernel (paper Sec. V-A-1, Fig. 14).
+///
+/// W_ij = exp(-d_ij² / sigma²) when d_ij <= alpha (and i != j), else 0,
+/// where d_ij is the centroid distance in km. `sigma` controls kernel width,
+/// `alpha` is the distance cutoff.
+struct ProximityParams {
+  double sigma = 1.0;
+  double alpha = 2.0;
+};
+
+/// The set of regions a city is partitioned into, plus the spatial
+/// relationships (proximity matrix / Laplacians) the advanced framework
+/// needs. Origin and destination partitions may be different RegionGraphs.
+class RegionGraph {
+ public:
+  /// Builds a graph over explicit regions.
+  explicit RegionGraph(std::vector<Region> regions);
+
+  /// Uniform grid partition: `rows`×`cols` square cells of `cell_km` km.
+  /// Region ids are row-major.
+  static RegionGraph Grid(int rows, int cols, double cell_km);
+
+  /// Irregular partition: region centroids drawn in a `width_km`×`height_km`
+  /// box with deterministic jitter (models main-road partitions such as
+  /// Chengdu's, where region sizes are heterogeneous).
+  static RegionGraph IrregularCity(int num_regions, double width_km,
+                                   double height_km, uint64_t seed);
+
+  /// Number of regions.
+  int64_t size() const { return static_cast<int64_t>(regions_.size()); }
+
+  const Region& region(int64_t i) const {
+    return regions_[static_cast<size_t>(i)];
+  }
+  const std::vector<Region>& regions() const { return regions_; }
+
+  /// Euclidean centroid distance between regions `i` and `j` in km.
+  double DistanceKm(int64_t i, int64_t j) const;
+
+  /// Gaussian-kernel proximity matrix W (n×n, symmetric, zero diagonal).
+  Tensor ProximityMatrix(const ProximityParams& params) const;
+
+ private:
+  std::vector<Region> regions_;
+};
+
+}  // namespace odf
+
+#endif  // ODF_GRAPH_REGION_GRAPH_H_

@@ -1,0 +1,99 @@
+#include "metrics/divergence.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/check.h"
+
+namespace odf {
+
+const char* MetricName(Metric metric) {
+  switch (metric) {
+    case Metric::kKl:
+      return "KL";
+    case Metric::kJs:
+      return "JS";
+    case Metric::kEmd:
+      return "EMD";
+  }
+  return "?";
+}
+
+double KlDivergence(const float* m, const float* mhat, int64_t k,
+                    double delta) {
+  ODF_DCHECK(k > 0);
+  double total = 0;
+  for (int64_t i = 0; i < k; ++i) {
+    const double p = mhat[i];
+    total += p * std::log((p + delta) / (m[i] + delta));
+  }
+  return total;
+}
+
+double JsDivergence(const float* m, const float* mhat, int64_t k,
+                    double delta) {
+  std::vector<float> mean(static_cast<size_t>(k));
+  for (int64_t i = 0; i < k; ++i) {
+    mean[static_cast<size_t>(i)] = 0.5f * (m[i] + mhat[i]);
+  }
+  return 0.5 * (KlDivergence(mean.data(), m, k, delta) +
+                KlDivergence(mean.data(), mhat, k, delta));
+}
+
+double EarthMoversDistance(const float* m, const float* mhat, int64_t k) {
+  // Optimal 1-D transport with |i-j| ground distance: L1 of CDF difference.
+  double cdf_diff = 0;
+  double total = 0;
+  for (int64_t i = 0; i < k - 1; ++i) {
+    cdf_diff += static_cast<double>(m[i]) - mhat[i];
+    total += std::fabs(cdf_diff);
+  }
+  return total;
+}
+
+double EarthMoversDistanceWithFlow(const float* m, const float* mhat,
+                                   int64_t k, std::vector<double>* flow) {
+  if (flow != nullptr) flow->assign(static_cast<size_t>(k * k), 0.0);
+  // Monotone two-pointer transport: optimal for convex 1-D ground costs.
+  double cost = 0.0;
+  int64_t i = 0;  // source bucket (mass of m)
+  int64_t j = 0;  // sink bucket (mass of mhat)
+  double supply = k > 0 ? m[0] : 0.0;
+  double demand = k > 0 ? mhat[0] : 0.0;
+  while (i < k && j < k) {
+    const double moved = std::min(supply, demand);
+    if (moved > 0.0) {
+      cost += moved * std::fabs(static_cast<double>(i - j));
+      if (flow != nullptr) {
+        (*flow)[static_cast<size_t>(i * k + j)] += moved;
+      }
+    }
+    supply -= moved;
+    demand -= moved;
+    // Advance whichever side is (numerically) exhausted.
+    if (supply <= 1e-12) {
+      ++i;
+      if (i < k) supply = m[i];
+    } else {
+      ++j;
+      if (j < k) demand = mhat[j];
+    }
+  }
+  return cost;
+}
+
+double HistogramDissimilarity(Metric metric, const float* m,
+                              const float* mhat, int64_t k) {
+  switch (metric) {
+    case Metric::kKl:
+      return KlDivergence(m, mhat, k);
+    case Metric::kJs:
+      return JsDivergence(m, mhat, k);
+    case Metric::kEmd:
+      return EarthMoversDistance(m, mhat, k);
+  }
+  ODF_CHECK(false) << "unknown metric";
+  return 0;
+}
+
+}  // namespace odf

@@ -1,0 +1,50 @@
+#ifndef ODF_METRICS_DIVERGENCE_H_
+#define ODF_METRICS_DIVERGENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace odf {
+
+/// Dissimilarity metrics between speed histograms (paper Sec. VI-A-4).
+enum class Metric : int { kKl = 0, kJs = 1, kEmd = 2 };
+
+inline constexpr int kNumMetrics = 3;
+
+/// Human-readable metric name ("KL", "JS", "EMD").
+const char* MetricName(Metric metric);
+
+/// Smoothed Kullback–Leibler divergence (paper Eq. 13):
+///   KL(m, m̂) = Σ_k m̂_k · log((m̂_k + δ) / (m_k + δ)),  δ = 1e-3.
+/// `m` is the ground-truth histogram, `mhat` the forecast, both length `k`.
+double KlDivergence(const float* m, const float* mhat, int64_t k,
+                    double delta = 1e-3);
+
+/// Jensen–Shannon divergence (paper Eq. 14) built from the smoothed KL:
+///   JS(m, m̂) = (KL(m̄, m) + KL(m̄, m̂)) / 2 with m̄ = (m + m̂)/2.
+double JsDivergence(const float* m, const float* mhat, int64_t k,
+                    double delta = 1e-3);
+
+/// Earth mover's distance (paper Eq. 15). For 1-D histograms over equi-width
+/// buckets with ground distance d_ij = |i − j| the optimal transport cost
+/// equals the L1 distance between the CDFs, which this computes exactly.
+double EarthMoversDistance(const float* m, const float* mhat, int64_t k);
+
+/// Dispatches on `metric`.
+double HistogramDissimilarity(Metric metric, const float* m,
+                              const float* mhat, int64_t k);
+
+/// General flow-based EMD exactly as the paper defines it (Eq. 15):
+/// finds the optimal transport plan F minimizing Σ_ij F_ij·d_ij with ground
+/// distance d_ij = |i − j| and returns the cost; if `flow` is non-null it
+/// receives the k×k plan (row-major, row = source bucket of `m`). For 1-D
+/// histograms with a convex ground cost the monotone (two-pointer) plan is
+/// optimal, which is what this computes — EarthMoversDistance() is the
+/// closed-form equivalent and the two agree to numerical precision.
+double EarthMoversDistanceWithFlow(const float* m, const float* mhat,
+                                   int64_t k,
+                                   std::vector<double>* flow = nullptr);
+
+}  // namespace odf
+
+#endif  // ODF_METRICS_DIVERGENCE_H_

@@ -1,0 +1,63 @@
+#include "metrics/evaluation.h"
+
+namespace odf {
+
+void MetricAccumulator::AddPair(const float* truth, const float* forecast,
+                                int64_t k) {
+  sums_[static_cast<int>(Metric::kKl)] += KlDivergence(truth, forecast, k);
+  sums_[static_cast<int>(Metric::kJs)] += JsDivergence(truth, forecast, k);
+  sums_[static_cast<int>(Metric::kEmd)] +=
+      EarthMoversDistance(truth, forecast, k);
+  ++count_;
+}
+
+void MetricAccumulator::Merge(const MetricAccumulator& other) {
+  for (int i = 0; i < kNumMetrics; ++i) sums_[i] += other.sums_[i];
+  count_ += other.count_;
+}
+
+double MetricAccumulator::Mean(Metric metric) const {
+  if (count_ == 0) return 0.0;
+  return sums_[static_cast<int>(metric)] / static_cast<double>(count_);
+}
+
+void AccumulateForecast(const Tensor& forecast, const OdTensor& truth,
+                        MetricAccumulator& accumulator) {
+  ODF_CHECK(forecast.shape() == truth.values().shape())
+      << forecast.shape().ToString() << " vs "
+      << truth.values().shape().ToString();
+  const int64_t n = truth.num_origins();
+  const int64_t m = truth.num_destinations();
+  const int64_t k = truth.num_buckets();
+  for (int64_t o = 0; o < n; ++o) {
+    for (int64_t d = 0; d < m; ++d) {
+      if (!truth.IsObserved(o, d)) continue;
+      const float* t = truth.values().data() + (o * m + d) * k;
+      const float* f = forecast.data() + (o * m + d) * k;
+      accumulator.AddPair(t, f, k);
+    }
+  }
+}
+
+void AccumulateForecastGrouped(
+    const Tensor& forecast, const OdTensor& truth,
+    const std::function<int(int64_t o, int64_t d)>& group_of,
+    std::vector<MetricAccumulator>& groups) {
+  ODF_CHECK(forecast.shape() == truth.values().shape());
+  const int64_t n = truth.num_origins();
+  const int64_t m = truth.num_destinations();
+  const int64_t k = truth.num_buckets();
+  for (int64_t o = 0; o < n; ++o) {
+    for (int64_t d = 0; d < m; ++d) {
+      if (!truth.IsObserved(o, d)) continue;
+      const int group = group_of(o, d);
+      if (group < 0) continue;
+      ODF_CHECK_LT(static_cast<size_t>(group), groups.size());
+      const float* t = truth.values().data() + (o * m + d) * k;
+      const float* f = forecast.data() + (o * m + d) * k;
+      groups[static_cast<size_t>(group)].AddPair(t, f, k);
+    }
+  }
+}
+
+}  // namespace odf

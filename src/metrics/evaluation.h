@@ -1,0 +1,51 @@
+#ifndef ODF_METRICS_EVALUATION_H_
+#define ODF_METRICS_EVALUATION_H_
+
+#include <functional>
+#include <vector>
+
+#include "metrics/divergence.h"
+#include "od/od_tensor.h"
+#include "tensor/tensor.h"
+
+namespace odf {
+
+/// Accumulates the masked dissimilarity DisSim (paper Eq. 12) across
+/// forecast/ground-truth pairs, for all three metrics at once. Values are
+/// reported as means per observed OD pair so that datasets with different
+/// sparsity are comparable.
+class MetricAccumulator {
+ public:
+  /// Adds one observed OD pair's histograms (length `k` each).
+  void AddPair(const float* truth, const float* forecast, int64_t k);
+
+  /// Merges another accumulator into this one.
+  void Merge(const MetricAccumulator& other);
+
+  /// Mean metric value per observed pair (0 if nothing accumulated).
+  double Mean(Metric metric) const;
+
+  /// Number of observed pairs accumulated.
+  int64_t count() const { return count_; }
+
+ private:
+  double sums_[kNumMetrics] = {0, 0, 0};
+  int64_t count_ = 0;
+};
+
+/// Scores a forecast tensor [N, N', K] against the sparse ground truth,
+/// visiting only observed cells (Ω masking, Eq. 12).
+void AccumulateForecast(const Tensor& forecast, const OdTensor& truth,
+                        MetricAccumulator& accumulator);
+
+/// Same, but routes every observed pair to accumulator
+/// `groups[group_of(o, d)]`; `group_of` may return -1 to skip a pair.
+/// Used for the per-distance breakdown (paper Figs. 11–13).
+void AccumulateForecastGrouped(
+    const Tensor& forecast, const OdTensor& truth,
+    const std::function<int(int64_t o, int64_t d)>& group_of,
+    std::vector<MetricAccumulator>& groups);
+
+}  // namespace odf
+
+#endif  // ODF_METRICS_EVALUATION_H_

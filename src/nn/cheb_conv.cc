@@ -1,0 +1,58 @@
+#include "nn/cheb_conv.h"
+
+namespace odf::nn {
+
+namespace ag = odf::autograd;
+
+ChebConv::ChebConv(Tensor scaled_laplacian, int64_t in_features,
+                   int64_t out_features, int64_t order, Rng& rng,
+                   bool with_bias)
+    : in_features_(in_features),
+      out_features_(out_features),
+      order_(order),
+      with_bias_(with_bias),
+      scaled_laplacian_(ag::Var::Constant(std::move(scaled_laplacian))),
+      theta_(RegisterParameter(Tensor::GlorotUniform(
+          Shape({order * in_features, out_features}), rng))),
+      bias_(with_bias
+                ? RegisterParameter(Tensor(Shape({out_features})))
+                : ag::Var::Constant(Tensor(Shape({out_features})))) {
+  ODF_CHECK_GT(order, 0);
+  const Tensor& l = scaled_laplacian_.value();
+  ODF_CHECK_EQ(l.rank(), 2);
+  ODF_CHECK_EQ(l.dim(0), l.dim(1));
+}
+
+ag::Var ChebConv::Forward(const ag::Var& x) const {
+  const bool squeeze = x.rank() == 2;
+  ag::Var input =
+      squeeze ? ag::Reshape(x, {1, x.dim(0), x.dim(1)}) : x;
+  ODF_CHECK_EQ(input.rank(), 3);
+  ODF_CHECK_EQ(input.dim(1), num_nodes());
+  ODF_CHECK_EQ(input.dim(2), in_features_);
+
+  // Chebyshev recurrence on the node dimension.
+  std::vector<ag::Var> taps;
+  taps.reserve(static_cast<size_t>(order_));
+  taps.push_back(input);  // T_1 = X
+  if (order_ >= 2) {
+    taps.push_back(ag::BatchMatMul(scaled_laplacian_, input));  // T_2 = L̂X
+  }
+  for (int64_t s = 2; s < order_; ++s) {
+    // T_s = 2·L̂·T_{s-1} − T_{s-2}.
+    ag::Var next = ag::Sub(
+        ag::MulScalar(ag::BatchMatMul(scaled_laplacian_, taps.back()), 2.0f),
+        taps[static_cast<size_t>(s - 2)]);
+    taps.push_back(next);
+  }
+
+  // Stack taps on the feature axis, then a single weight multiply realizes
+  // Σ_s T_s Θ_s.
+  ag::Var stacked = taps.size() == 1 ? taps.front() : ag::Concat(taps, 2);
+  ag::Var out = ag::BatchMatMul(stacked, theta_);
+  if (with_bias_) out = ag::Add(out, bias_);
+  if (squeeze) out = ag::Reshape(out, {num_nodes(), out_features_});
+  return out;
+}
+
+}  // namespace odf::nn

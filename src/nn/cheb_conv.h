@@ -1,0 +1,46 @@
+#ifndef ODF_NN_CHEB_CONV_H_
+#define ODF_NN_CHEB_CONV_H_
+
+#include "autograd/ops.h"
+#include "nn/module.h"
+#include "util/rng.h"
+
+namespace odf::nn {
+
+/// Cheby-Net spectral graph convolution (paper Eq. 5, Defferrard et al.):
+///
+///   T_1 = X,  T_2 = L̂·X,  T_s = 2·L̂·T_{s-1} − T_{s-2}
+///   Y = Σ_s T_s Θ_s + b
+///
+/// where L̂ is the scaled Laplacian of the region proximity graph (a
+/// constant), X is [B, n, F_in] node features, and the layer has `order`
+/// Chebyshev taps with F_out output filters.
+class ChebConv : public Module {
+ public:
+  /// `scaled_laplacian` is the n×n matrix L̂ = 2L/λ_max − I (precomputed once
+  /// per graph by the caller — see graph/laplacian.h).
+  ChebConv(Tensor scaled_laplacian, int64_t in_features, int64_t out_features,
+           int64_t order, Rng& rng, bool with_bias = true);
+
+  /// Applies the convolution to [B, n, F_in]; returns [B, n, F_out].
+  /// Rank-2 input [n, F_in] is treated as batch 1 and returned rank-2.
+  autograd::Var Forward(const autograd::Var& x) const;
+
+  int64_t num_nodes() const { return scaled_laplacian_.value().dim(0); }
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+  int64_t order() const { return order_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  int64_t order_;
+  bool with_bias_;
+  autograd::Var scaled_laplacian_;  // constant
+  autograd::Var theta_;             // [order * F_in, F_out]
+  autograd::Var bias_;              // [F_out]
+};
+
+}  // namespace odf::nn
+
+#endif  // ODF_NN_CHEB_CONV_H_

@@ -1,0 +1,98 @@
+#include "nn/gcgru.h"
+
+namespace odf::nn {
+
+namespace ag = odf::autograd;
+
+GcGruCell::GcGruCell(Tensor scaled_laplacian, int64_t input_features,
+                     int64_t hidden_features, int64_t order, Rng& rng)
+    : input_features_(input_features),
+      hidden_features_(hidden_features),
+      reset_conv_(scaled_laplacian, input_features + hidden_features,
+                  hidden_features, order, rng),
+      update_conv_(scaled_laplacian, input_features + hidden_features,
+                   hidden_features, order, rng),
+      candidate_conv_(std::move(scaled_laplacian),
+                      input_features + hidden_features, hidden_features,
+                      order, rng) {
+  RegisterSubmodule(&reset_conv_);
+  RegisterSubmodule(&update_conv_);
+  RegisterSubmodule(&candidate_conv_);
+}
+
+ag::Var GcGruCell::Step(const ag::Var& x, const ag::Var& h) const {
+  ODF_CHECK_EQ(x.rank(), 3);
+  ODF_CHECK_EQ(h.rank(), 3);
+  ODF_CHECK_EQ(x.dim(2), input_features_);
+  ODF_CHECK_EQ(h.dim(2), hidden_features_);
+  const ag::Var hx = ag::Concat({h, x}, 2);
+  const ag::Var reset = ag::Sigmoid(reset_conv_.Forward(hx));
+  const ag::Var update = ag::Sigmoid(update_conv_.Forward(hx));
+  const ag::Var gated = ag::Concat({ag::Mul(reset, h), x}, 2);
+  const ag::Var candidate = ag::Tanh(candidate_conv_.Forward(gated));
+  return ag::Add(ag::Mul(update, h),
+                 ag::Mul(ag::AddScalar(ag::Neg(update), 1.0f), candidate));
+}
+
+ag::Var GcGruCell::InitialState(int64_t batch) const {
+  return ag::Var::Constant(
+      Tensor(Shape({batch, num_nodes(), hidden_features_})));
+}
+
+Seq2SeqGcGru::Seq2SeqGcGru(Tensor scaled_laplacian, int64_t feature_size,
+                           int64_t hidden_size, int64_t order, Rng& rng,
+                           int64_t num_layers) {
+  ODF_CHECK_GE(num_layers, 1);
+  for (int64_t l = 0; l < num_layers; ++l) {
+    encoder_layers_.push_back(std::make_unique<GcGruCell>(
+        scaled_laplacian, l == 0 ? feature_size : hidden_size, hidden_size,
+        order, rng));
+    RegisterSubmodule(encoder_layers_.back().get());
+  }
+  for (int64_t l = 0; l < num_layers; ++l) {
+    decoder_layers_.push_back(std::make_unique<GcGruCell>(
+        scaled_laplacian, l == 0 ? feature_size : hidden_size, hidden_size,
+        order, rng));
+    RegisterSubmodule(decoder_layers_.back().get());
+  }
+  output_head_ = std::make_unique<ChebConv>(
+      std::move(scaled_laplacian), hidden_size, feature_size, order, rng);
+  RegisterSubmodule(output_head_.get());
+}
+
+std::vector<ag::Var> Seq2SeqGcGru::Forward(
+    const std::vector<ag::Var>& inputs, int64_t horizon) const {
+  ODF_CHECK(!inputs.empty());
+  ODF_CHECK_GT(horizon, 0);
+  const int64_t batch = inputs.front().dim(0);
+  const size_t layers = encoder_layers_.size();
+  std::vector<ag::Var> enc_state;
+  for (size_t l = 0; l < layers; ++l) {
+    enc_state.push_back(encoder_layers_[l]->InitialState(batch));
+  }
+  for (const ag::Var& x : inputs) {
+    ag::Var layer_input = x;
+    for (size_t l = 0; l < layers; ++l) {
+      enc_state[l] = encoder_layers_[l]->Step(layer_input, enc_state[l]);
+      layer_input = enc_state[l];
+    }
+  }
+
+  std::vector<ag::Var> dec_state = enc_state;
+  std::vector<ag::Var> outputs;
+  outputs.reserve(static_cast<size_t>(horizon));
+  ag::Var prev = inputs.back();
+  for (int64_t j = 0; j < horizon; ++j) {
+    ag::Var layer_input = prev;
+    for (size_t l = 0; l < layers; ++l) {
+      dec_state[l] = decoder_layers_[l]->Step(layer_input, dec_state[l]);
+      layer_input = dec_state[l];
+    }
+    ag::Var out = output_head_->Forward(dec_state.back());
+    outputs.push_back(out);
+    prev = out;
+  }
+  return outputs;
+}
+
+}  // namespace odf::nn

@@ -1,0 +1,72 @@
+#ifndef ODF_NN_GCGRU_H_
+#define ODF_NN_GCGRU_H_
+
+#include <vector>
+
+#include "nn/cheb_conv.h"
+#include "nn/module.h"
+
+namespace odf::nn {
+
+/// CNRNN cell (paper Eqs. 7–10): a GRU whose gate transforms are Cheby-Net
+/// graph convolutions over the region proximity graph, so the recurrence
+/// preserves spatial structure while modelling temporal dynamics.
+///
+///   S^(t) = σ(G_S ⊛ [H^(t-1), X^(t)] + b_S)        (reset gate)
+///   U^(t) = σ(G_U ⊛ [H^(t-1), X^(t)] + b_U)        (update gate)
+///   H̃^(t) = tanh(G_H ⊛ [S^(t) ⊙ H^(t-1), X^(t)] + b_H)
+///   H^(t) = U^(t) ⊙ H^(t-1) + (1 − U^(t)) ⊙ H̃^(t)
+///
+/// States and inputs are node-feature tensors [B, n, F].
+class GcGruCell : public Module {
+ public:
+  /// `scaled_laplacian` is the graph's L̂; `order` the Chebyshev order.
+  GcGruCell(Tensor scaled_laplacian, int64_t input_features,
+            int64_t hidden_features, int64_t order, Rng& rng);
+
+  /// One step: x [B, n, F_in], h [B, n, F_hidden] -> [B, n, F_hidden].
+  autograd::Var Step(const autograd::Var& x, const autograd::Var& h) const;
+
+  /// Zero state [batch, n, hidden].
+  autograd::Var InitialState(int64_t batch) const;
+
+  int64_t num_nodes() const { return reset_conv_.num_nodes(); }
+  int64_t input_features() const { return input_features_; }
+  int64_t hidden_features() const { return hidden_features_; }
+
+ private:
+  int64_t input_features_;
+  int64_t hidden_features_;
+  ChebConv reset_conv_;
+  ChebConv update_conv_;
+  ChebConv candidate_conv_;
+};
+
+/// Sequence-to-sequence CNRNN (paper Sec. V-B): encoder/decoder GcGru over
+/// node-feature sequences, with a ChebConv output head mapping hidden node
+/// features back to factor features. Autoregressive decoding (no latent
+/// ground truth exists for teacher forcing).
+class Seq2SeqGcGru : public Module {
+ public:
+  /// `num_layers` stacks CNRNN cells (Table I's "CNRNN with n layers").
+  Seq2SeqGcGru(Tensor scaled_laplacian, int64_t feature_size,
+               int64_t hidden_size, int64_t order, Rng& rng,
+               int64_t num_layers = 1);
+
+  /// Maps `inputs` (each [B, n, F]) to `horizon` future elements.
+  std::vector<autograd::Var> Forward(
+      const std::vector<autograd::Var>& inputs, int64_t horizon) const;
+
+  int64_t num_layers() const {
+    return static_cast<int64_t>(encoder_layers_.size());
+  }
+
+ private:
+  std::vector<std::unique_ptr<GcGruCell>> encoder_layers_;
+  std::vector<std::unique_ptr<GcGruCell>> decoder_layers_;
+  std::unique_ptr<ChebConv> output_head_;
+};
+
+}  // namespace odf::nn
+
+#endif  // ODF_NN_GCGRU_H_

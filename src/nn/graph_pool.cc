@@ -1,0 +1,95 @@
+#include "nn/graph_pool.h"
+
+#include <limits>
+
+#include "util/check.h"
+
+namespace odf::nn {
+
+namespace ag = odf::autograd;
+
+ag::Var GraphPool(const ag::Var& x,
+                  const std::vector<std::vector<int64_t>>& clusters,
+                  PoolKind kind) {
+  ODF_CHECK_EQ(x.rank(), 3);
+  ODF_CHECK(!clusters.empty());
+  const int64_t batch = x.dim(0);
+  const int64_t n = x.dim(1);
+  const int64_t features = x.dim(2);
+  const int64_t nc = static_cast<int64_t>(clusters.size());
+  for (const auto& cluster : clusters) {
+    ODF_CHECK(!cluster.empty());
+    for (int64_t i : cluster) {
+      ODF_CHECK_GE(i, 0);
+      ODF_CHECK_LT(i, n);
+    }
+  }
+
+  const Tensor& xv = x.value();
+  Tensor out(Shape({batch, nc, features}));
+  // For max pooling remember which source node won each output cell.
+  std::vector<int32_t> argmax;
+  if (kind == PoolKind::kMax) {
+    argmax.assign(static_cast<size_t>(batch * nc * features), 0);
+  }
+
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t c = 0; c < nc; ++c) {
+      const auto& cluster = clusters[static_cast<size_t>(c)];
+      float* dst = out.data() + (b * nc + c) * features;
+      if (kind == PoolKind::kAverage) {
+        for (int64_t i : cluster) {
+          const float* src = xv.data() + (b * n + i) * features;
+          for (int64_t f = 0; f < features; ++f) dst[f] += src[f];
+        }
+        const float inv = 1.0f / static_cast<float>(cluster.size());
+        for (int64_t f = 0; f < features; ++f) dst[f] *= inv;
+      } else {
+        int32_t* arg = argmax.data() + (b * nc + c) * features;
+        for (int64_t f = 0; f < features; ++f) {
+          dst[f] = -std::numeric_limits<float>::infinity();
+        }
+        for (int64_t i : cluster) {
+          const float* src = xv.data() + (b * n + i) * features;
+          for (int64_t f = 0; f < features; ++f) {
+            if (src[f] > dst[f]) {
+              dst[f] = src[f];
+              arg[f] = static_cast<int32_t>(i);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  return ag::internal::MakeOpVar(
+      std::move(out), {x},
+      [clusters, kind, argmax, batch, n, nc,
+       features](ag::internal::Node& node) {
+        Tensor grad(Shape({batch, n, features}));
+        for (int64_t b = 0; b < batch; ++b) {
+          for (int64_t c = 0; c < nc; ++c) {
+            const auto& cluster = clusters[static_cast<size_t>(c)];
+            const float* g = node.grad.data() + (b * nc + c) * features;
+            if (kind == PoolKind::kAverage) {
+              const float inv = 1.0f / static_cast<float>(cluster.size());
+              for (int64_t i : cluster) {
+                float* dst = grad.data() + (b * n + i) * features;
+                for (int64_t f = 0; f < features; ++f) {
+                  dst[f] += g[f] * inv;
+                }
+              }
+            } else {
+              const int32_t* arg =
+                  argmax.data() + (b * nc + c) * features;
+              for (int64_t f = 0; f < features; ++f) {
+                grad.data()[(b * n + arg[f]) * features + f] += g[f];
+              }
+            }
+          }
+        }
+        node.parents[0]->AccumulateGrad(grad);
+      });
+}
+
+}  // namespace odf::nn

@@ -1,0 +1,26 @@
+#ifndef ODF_NN_GRAPH_POOL_H_
+#define ODF_NN_GRAPH_POOL_H_
+
+#include <vector>
+
+#include "autograd/var.h"
+
+namespace odf::nn {
+
+/// Pooling reduction over each node cluster.
+enum class PoolKind { kAverage, kMax };
+
+/// Cluster-ordered graph pooling (paper Eq. 6): reduces the node dimension
+/// of [B, n, F] features to [B, n_c, F], where cluster `c` pools the finer
+/// node indices `clusters[c]` (typically produced by graph/coarsen.h so
+/// that pooled nodes are spatial neighbours).
+///
+/// Differentiable: average pooling spreads the gradient uniformly over a
+/// cluster; max pooling routes it to the argmax element.
+autograd::Var GraphPool(const autograd::Var& x,
+                        const std::vector<std::vector<int64_t>>& clusters,
+                        PoolKind kind);
+
+}  // namespace odf::nn
+
+#endif  // ODF_NN_GRAPH_POOL_H_

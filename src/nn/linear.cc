@@ -1,0 +1,30 @@
+#include "nn/linear.h"
+
+namespace odf::nn {
+
+namespace ag = odf::autograd;
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng& rng,
+               bool with_bias)
+    : in_features_(in_features),
+      out_features_(out_features),
+      with_bias_(with_bias),
+      weight_(RegisterParameter(
+          Tensor::GlorotUniform(Shape({in_features, out_features}), rng))),
+      bias_(with_bias
+                ? RegisterParameter(Tensor(Shape({out_features})))
+                : ag::Var::Constant(Tensor(Shape({out_features})))) {
+  ODF_CHECK_GT(in_features, 0);
+  ODF_CHECK_GT(out_features, 0);
+}
+
+ag::Var Linear::Forward(const ag::Var& x) const {
+  ODF_CHECK_EQ(x.dim(-1), in_features_)
+      << "Linear expects trailing dim " << in_features_;
+  ag::Var out = x.rank() == 2 ? ag::MatMul(x, weight_)
+                              : ag::BatchMatMul(x, weight_);
+  if (with_bias_) out = ag::Add(out, bias_);
+  return out;
+}
+
+}  // namespace odf::nn

@@ -1,0 +1,79 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace odf::nn {
+
+float Optimizer::ClipGradNorm(float max_norm) {
+  ODF_CHECK_GT(max_norm, 0.0f);
+  double total_sq = 0;
+  for (const auto& p : params_) {
+    const Tensor& g = p.grad();
+    for (int64_t i = 0; i < g.numel(); ++i) {
+      total_sq += static_cast<double>(g[i]) * g[i];
+    }
+  }
+  const float norm = static_cast<float>(std::sqrt(total_sq));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (auto& p : params_) {
+      // grad() returns a const ref to the accumulator; rescale via the node.
+      Tensor g = p.grad();
+      for (int64_t i = 0; i < g.numel(); ++i) g[i] *= scale;
+      p.node()->grad = std::move(g);
+    }
+  }
+  return norm;
+}
+
+void Sgd::Step() {
+  for (auto& p : params_) {
+    Tensor value = p.value();
+    const Tensor& g = p.grad();
+    for (int64_t i = 0; i < value.numel(); ++i) value[i] -= lr_ * g[i];
+    p.SetValue(std::move(value));
+  }
+}
+
+Adam::Adam(std::vector<autograd::Var> params, float lr, float beta1,
+           float beta2, float epsilon)
+    : Optimizer(std::move(params), lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(p.value().shape());
+    v_.emplace_back(p.value().shape());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t pi = 0; pi < params_.size(); ++pi) {
+    autograd::Var& p = params_[pi];
+    Tensor value = p.value();
+    const Tensor& g = p.grad();
+    Tensor& m = m_[pi];
+    Tensor& v = v_[pi];
+    for (int64_t i = 0; i < value.numel(); ++i) {
+      m[i] = beta1_ * m[i] + (1.0f - beta1_) * g[i];
+      v[i] = beta2_ * v[i] + (1.0f - beta2_) * g[i] * g[i];
+      const float m_hat = m[i] / bias1;
+      const float v_hat = v[i] / bias2;
+      value[i] -= lr_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+    }
+    p.SetValue(std::move(value));
+  }
+}
+
+float StepDecaySchedule::LearningRate(int epoch) const {
+  ODF_CHECK_GE(epoch, 0);
+  return initial_lr_ *
+         std::pow(decay_, static_cast<float>(epoch / every_));
+}
+
+}  // namespace odf::nn

@@ -1,0 +1,95 @@
+#ifndef ODF_NN_OPTIMIZER_H_
+#define ODF_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "autograd/var.h"
+
+namespace odf::nn {
+
+/// Base optimizer over a fixed parameter list.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<autograd::Var> params, float lr)
+      : params_(std::move(params)), lr_(lr) {
+    ODF_CHECK_GT(lr_, 0.0f);
+  }
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using the gradients currently stored on the
+  /// parameters.
+  virtual void Step() = 0;
+
+  /// Clears all parameter gradients.
+  void ZeroGrad() {
+    for (auto& p : params_) p.ZeroGrad();
+  }
+
+  /// Rescales gradients so their global L2 norm is at most `max_norm`.
+  /// Returns the pre-clip norm.
+  float ClipGradNorm(float max_norm);
+
+  float learning_rate() const { return lr_; }
+  void set_learning_rate(float lr) {
+    ODF_CHECK_GT(lr, 0.0f);
+    lr_ = lr;
+  }
+
+ protected:
+  std::vector<autograd::Var> params_;
+  float lr_;
+};
+
+/// Plain stochastic gradient descent (used in tests as a reference).
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<autograd::Var> params, float lr)
+      : Optimizer(std::move(params), lr) {}
+  void Step() override;
+};
+
+/// Adam (Kingma & Ba). The paper trains all deep models with Adam at
+/// lr=0.001 with a 0.8 decay every 5 epochs (Sec. VI-A-5); the decay is
+/// applied externally via StepDecaySchedule.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<autograd::Var> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float epsilon = 1e-8f);
+  void Step() override;
+
+ private:
+  float beta1_;
+  float beta2_;
+  float epsilon_;
+  int64_t t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+/// Step-decay learning-rate schedule: lr(epoch) = lr0 · decay^(epoch / every).
+class StepDecaySchedule {
+ public:
+  StepDecaySchedule(float initial_lr, float decay, int every_epochs)
+      : initial_lr_(initial_lr), decay_(decay), every_(every_epochs) {
+    ODF_CHECK_GT(initial_lr, 0.0f);
+    ODF_CHECK_GT(decay, 0.0f);
+    ODF_CHECK_GT(every_epochs, 0);
+  }
+
+  /// Learning rate for a 0-based epoch index.
+  float LearningRate(int epoch) const;
+
+  /// Convenience: update the optimizer for this epoch.
+  void Apply(Optimizer& optimizer, int epoch) const {
+    optimizer.set_learning_rate(LearningRate(epoch));
+  }
+
+ private:
+  float initial_lr_;
+  float decay_;
+  int every_;
+};
+
+}  // namespace odf::nn
+
+#endif  // ODF_NN_OPTIMIZER_H_

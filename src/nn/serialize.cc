@@ -1,0 +1,52 @@
+#include "nn/serialize.h"
+
+#include "util/binary_io.h"
+
+namespace odf::nn {
+
+namespace {
+constexpr char kMagic[] = "ODF_CHECKPOINT_V1";
+}  // namespace
+
+bool SaveParameters(const Module& module, const std::string& path) {
+  BinaryWriter writer(path);
+  if (!writer.ok()) return false;
+  writer.WriteString(kMagic);
+  const auto params = module.Parameters();
+  writer.WriteU64(params.size());
+  for (const auto& p : params) {
+    const Tensor& value = p.value();
+    writer.WriteU64(static_cast<uint64_t>(value.rank()));
+    for (int64_t d = 0; d < value.rank(); ++d) writer.WriteI64(value.dim(d));
+    writer.WriteFloats(value.data(), static_cast<size_t>(value.numel()));
+  }
+  return writer.Close();
+}
+
+bool LoadParameters(Module& module, const std::string& path) {
+  BinaryReader reader(path);
+  if (!reader.ok()) return false;
+  ODF_CHECK(reader.ReadString() == kMagic) << "not an ODF checkpoint: "
+                                           << path;
+  auto params = module.Parameters();
+  const uint64_t count = reader.ReadU64();
+  ODF_CHECK_EQ(count, params.size())
+      << "checkpoint/model architecture mismatch";
+  for (auto& p : params) {
+    const uint64_t rank = reader.ReadU64();
+    ODF_CHECK_EQ(rank, static_cast<uint64_t>(p.value().rank()));
+    std::vector<int64_t> dims;
+    dims.reserve(rank);
+    for (uint64_t d = 0; d < rank; ++d) dims.push_back(reader.ReadI64());
+    Tensor value{Shape(dims)};
+    ODF_CHECK(value.shape() == p.value().shape())
+        << "parameter shape mismatch: checkpoint "
+        << value.shape().ToString() << " vs model "
+        << p.value().shape().ToString();
+    reader.ReadFloats(value.data(), static_cast<size_t>(value.numel()));
+    p.SetValue(std::move(value));
+  }
+  return true;
+}
+
+}  // namespace odf::nn

@@ -1,0 +1,24 @@
+#ifndef ODF_NN_SERIALIZE_H_
+#define ODF_NN_SERIALIZE_H_
+
+#include <string>
+
+#include "nn/module.h"
+
+namespace odf::nn {
+
+/// Saves a module's parameters to a checkpoint file. The format records a
+/// magic header, the parameter count and each parameter's shape + data, so
+/// loading verifies structural compatibility. Returns false on I/O failure.
+bool SaveParameters(const Module& module, const std::string& path);
+
+/// Loads a checkpoint produced by SaveParameters into `module`. The module
+/// must have been constructed with the same architecture: parameter count
+/// and every shape must match (aborts otherwise — loading into the wrong
+/// architecture is a programming error). Returns false when the file cannot
+/// be opened.
+bool LoadParameters(Module& module, const std::string& path);
+
+}  // namespace odf::nn
+
+#endif  // ODF_NN_SERIALIZE_H_

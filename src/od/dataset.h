@@ -1,0 +1,74 @@
+#ifndef ODF_OD_DATASET_H_
+#define ODF_OD_DATASET_H_
+
+#include <vector>
+
+#include "od/od_tensor.h"
+#include "util/rng.h"
+
+namespace odf {
+
+/// A materialized mini-batch of forecasting windows.
+///
+/// Each element of `inputs` / `targets` / `target_masks` is one time step,
+/// shaped [B, N, N', K]; masks are the observation masks Ω broadcast over
+/// the bucket axis (loss and metrics only score observed ground-truth cells,
+/// paper Eq. 4 / Eq. 12).
+struct Batch {
+  std::vector<Tensor> inputs;
+  std::vector<Tensor> targets;
+  std::vector<Tensor> target_masks;
+  /// Interval index of the last input step of each sample in the batch.
+  std::vector<int64_t> anchor_intervals;
+
+  int64_t batch_size() const {
+    return inputs.empty() ? 0 : inputs.front().dim(0);
+  }
+};
+
+/// Sliding-window forecasting dataset over an OD tensor series
+/// (paper problem statement: s historical tensors -> h future tensors).
+///
+/// The series must outlive the dataset.
+class ForecastDataset {
+ public:
+  ForecastDataset(const OdTensorSeries* series, int64_t history,
+                  int64_t horizon);
+
+  int64_t history() const { return history_; }
+  int64_t horizon() const { return horizon_; }
+
+  /// Number of valid windows.
+  int64_t NumSamples() const;
+
+  /// The anchor interval (last input step) of sample `i`.
+  int64_t AnchorInterval(int64_t i) const;
+
+  /// Chronological split into train/validation/test sample index lists.
+  struct Split {
+    std::vector<int64_t> train;
+    std::vector<int64_t> validation;
+    std::vector<int64_t> test;
+  };
+  Split ChronologicalSplit(double train_fraction,
+                           double validation_fraction) const;
+
+  /// Materializes the windows `sample_indices` as stacked tensors.
+  Batch MakeBatch(const std::vector<int64_t>& sample_indices) const;
+
+  /// Splits `samples` into shuffled mini-batches of at most `batch_size`.
+  std::vector<std::vector<int64_t>> ShuffledBatches(
+      const std::vector<int64_t>& samples, int64_t batch_size,
+      Rng& rng) const;
+
+  const OdTensorSeries& series() const { return *series_; }
+
+ private:
+  const OdTensorSeries* series_;
+  int64_t history_;
+  int64_t horizon_;
+};
+
+}  // namespace odf
+
+#endif  // ODF_OD_DATASET_H_

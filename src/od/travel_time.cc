@@ -1,0 +1,55 @@
+#include "od/travel_time.h"
+
+#include "util/check.h"
+
+namespace odf {
+
+std::vector<TravelTimeBand> TravelTimeDistribution(
+    const std::vector<float>& histogram, const SpeedHistogramSpec& spec,
+    double distance_km, double floor_speed_ms) {
+  ODF_CHECK_EQ(static_cast<int>(histogram.size()), spec.num_buckets());
+  ODF_CHECK_GT(distance_km, 0.0);
+  ODF_CHECK_GT(floor_speed_ms, 0.0);
+  const double metres = distance_km * 1000.0;
+  std::vector<TravelTimeBand> bands;
+  // Fastest speeds (highest bucket) give the shortest times.
+  for (int k = spec.num_buckets() - 1; k >= 0; --k) {
+    const double p = histogram[static_cast<size_t>(k)];
+    if (p < 1e-6) continue;
+    const double v_lo =
+        std::max(k * spec.bucket_width_ms(), floor_speed_ms);
+    // The open tail bucket has no upper speed edge; assume one bucket
+    // width above its lower edge (consistent with BucketMidpointMs).
+    const double v_hi = (k + 1) * spec.bucket_width_ms();
+    TravelTimeBand band;
+    band.minutes_lo = metres / v_hi / 60.0;
+    band.minutes_hi = metres / v_lo / 60.0;
+    band.probability = p;
+    bands.push_back(band);
+  }
+  return bands;
+}
+
+double ReserveMinutes(const std::vector<TravelTimeBand>& bands,
+                      double confidence) {
+  ODF_CHECK_GT(confidence, 0.0);
+  ODF_CHECK_LE(confidence, 1.0);
+  double mass = 0.0;
+  for (const TravelTimeBand& band : bands) {
+    mass += band.probability;
+    if (mass >= confidence - 1e-9) return band.minutes_hi;
+  }
+  return bands.empty() ? 0.0 : bands.back().minutes_hi;
+}
+
+double ExpectedTravelMinutes(const std::vector<TravelTimeBand>& bands) {
+  double total_mass = 0.0;
+  double total_time = 0.0;
+  for (const TravelTimeBand& band : bands) {
+    total_mass += band.probability;
+    total_time += band.probability * 0.5 * (band.minutes_lo + band.minutes_hi);
+  }
+  return total_mass > 0.0 ? total_time / total_mass : 0.0;
+}
+
+}  // namespace odf

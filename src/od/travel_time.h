@@ -1,0 +1,42 @@
+#ifndef ODF_OD_TRAVEL_TIME_H_
+#define ODF_OD_TRAVEL_TIME_H_
+
+#include <vector>
+
+#include "od/histogram.h"
+
+namespace odf {
+
+/// One band of a travel-time distribution: the trip takes between
+/// `minutes_lo` and `minutes_hi` minutes with probability `probability`.
+struct TravelTimeBand {
+  double minutes_lo = 0.0;
+  double minutes_hi = 0.0;
+  double probability = 0.0;
+};
+
+/// Converts a forecast speed histogram into a travel-time distribution for
+/// a trip of `distance_km` (the paper's introduction example: a 15 km
+/// airport trip with speed histogram {[10,20):0.5, ...} becomes a time
+/// distribution {[45,90):0.5, ...}). Bands are returned fastest-first.
+///
+/// The slowest bucket starts at 0 m/s and would have unbounded time; its
+/// upper edge is capped with `floor_speed_ms` (walking pace by default).
+/// Buckets with probability < 1e-6 are dropped.
+std::vector<TravelTimeBand> TravelTimeDistribution(
+    const std::vector<float>& histogram, const SpeedHistogramSpec& spec,
+    double distance_km, double floor_speed_ms = 0.5);
+
+/// Minutes to reserve so that P(travel time <= reserved) >= `confidence`
+/// (the "leave early enough for the flight" quantile). `bands` must be
+/// sorted fastest-first, as produced by TravelTimeDistribution.
+double ReserveMinutes(const std::vector<TravelTimeBand>& bands,
+                      double confidence);
+
+/// Expected travel time in minutes under the band distribution (midpoint
+/// approximation within each band).
+double ExpectedTravelMinutes(const std::vector<TravelTimeBand>& bands);
+
+}  // namespace odf
+
+#endif  // ODF_OD_TRAVEL_TIME_H_

@@ -1,0 +1,76 @@
+#ifndef ODF_OD_TRIP_H_
+#define ODF_OD_TRIP_H_
+
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace odf {
+
+/// One vehicle trip record p = (o, d, t, l, τ) (paper Sec. III).
+struct Trip {
+  /// Origin region id.
+  int32_t origin = 0;
+  /// Destination region id.
+  int32_t destination = 0;
+  /// Departure time in seconds since the start of the dataset.
+  int64_t departure_s = 0;
+  /// Travelled distance in metres.
+  double distance_m = 0.0;
+  /// Travel time in seconds.
+  double duration_s = 0.0;
+
+  /// Average speed v = l / τ in metres per second.
+  double SpeedMs() const {
+    ODF_DCHECK(duration_s > 0.0);
+    return distance_m / duration_s;
+  }
+};
+
+/// Partition of the time domain into equal intervals (paper Sec. III).
+class TimePartition {
+ public:
+  TimePartition(int interval_minutes, int num_days)
+      : interval_minutes_(interval_minutes), num_days_(num_days) {
+    ODF_CHECK_GT(interval_minutes, 0);
+    ODF_CHECK_EQ((24 * 60) % interval_minutes, 0)
+        << "interval must divide the day";
+    ODF_CHECK_GT(num_days, 0);
+  }
+
+  int interval_minutes() const { return interval_minutes_; }
+  int num_days() const { return num_days_; }
+  /// Intervals per day (e.g. 96 for 15-minute intervals).
+  int64_t IntervalsPerDay() const { return (24 * 60) / interval_minutes_; }
+  /// Total number of intervals across the dataset.
+  int64_t NumIntervals() const { return IntervalsPerDay() * num_days_; }
+
+  /// Interval index for a departure timestamp (seconds since dataset start).
+  int64_t IntervalOf(int64_t departure_s) const {
+    ODF_DCHECK(departure_s >= 0);
+    const int64_t interval = departure_s / (interval_minutes_ * 60);
+    ODF_DCHECK(interval < NumIntervals());
+    return interval;
+  }
+
+  /// Hour-of-day in [0, 24) at which interval `t` starts.
+  double HourOfDay(int64_t t) const {
+    const int64_t within_day = t % IntervalsPerDay();
+    return static_cast<double>(within_day * interval_minutes_) / 60.0;
+  }
+
+  /// Day index of interval `t`.
+  int64_t DayOf(int64_t t) const { return t / IntervalsPerDay(); }
+
+  /// True when interval `t` falls on a weekend (days 5 and 6 of each week;
+  /// day 0 is a Monday by convention).
+  bool IsWeekend(int64_t t) const { return (DayOf(t) % 7) >= 5; }
+
+ private:
+  int interval_minutes_;
+  int num_days_;
+};
+
+}  // namespace odf
+
+#endif  // ODF_OD_TRIP_H_

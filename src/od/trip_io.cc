@@ -1,0 +1,124 @@
+#include "od/trip_io.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace odf {
+
+namespace {
+
+constexpr char kTripHeader[] =
+    "origin,destination,departure_s,distance_m,duration_s";
+constexpr char kRegionHeader[] = "region,centroid_x_km,centroid_y_km";
+
+/// Reads one line (without the newline); false at EOF.
+bool ReadLine(std::FILE* file, std::string* line) {
+  line->clear();
+  int ch;
+  while ((ch = std::fgetc(file)) != EOF) {
+    if (ch == '\n') return true;
+    if (ch != '\r') line->push_back(static_cast<char>(ch));
+  }
+  return !line->empty();
+}
+
+}  // namespace
+
+bool WriteTripsCsv(const std::vector<Trip>& trips, const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  bool ok = std::fprintf(file, "%s\n", kTripHeader) > 0;
+  for (const Trip& trip : trips) {
+    ok = ok && std::fprintf(file, "%d,%d,%lld,%.3f,%.3f\n", trip.origin,
+                            trip.destination,
+                            static_cast<long long>(trip.departure_s),
+                            trip.distance_m, trip.duration_s) > 0;
+  }
+  return std::fclose(file) == 0 && ok;
+}
+
+bool ReadTripsCsv(const std::string& path, std::vector<Trip>* trips) {
+  ODF_CHECK(trips != nullptr);
+  trips->clear();
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) {
+    ODF_LOG(Warning) << "cannot open " << path;
+    return false;
+  }
+  std::string line;
+  if (!ReadLine(file, &line) || line != kTripHeader) {
+    ODF_LOG(Warning) << path << ": missing/invalid header";
+    std::fclose(file);
+    return false;
+  }
+  int64_t line_number = 1;
+  while (ReadLine(file, &line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    Trip trip;
+    long long departure = 0;
+    if (std::sscanf(line.c_str(), "%d,%d,%lld,%lf,%lf", &trip.origin,
+                    &trip.destination, &departure, &trip.distance_m,
+                    &trip.duration_s) != 5 ||
+        trip.origin < 0 || trip.destination < 0 || departure < 0 ||
+        trip.distance_m <= 0 || trip.duration_s <= 0) {
+      ODF_LOG(Warning) << path << ":" << line_number << ": malformed row '"
+                       << line << "'";
+      trips->clear();
+      std::fclose(file);
+      return false;
+    }
+    trip.departure_s = departure;
+    trips->push_back(trip);
+  }
+  std::fclose(file);
+  return true;
+}
+
+bool WriteRegionsCsv(const RegionGraph& graph, const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  bool ok = std::fprintf(file, "%s\n", kRegionHeader) > 0;
+  for (int64_t i = 0; i < graph.size(); ++i) {
+    const Region& region = graph.region(i);
+    ok = ok && std::fprintf(file, "%lld,%.6f,%.6f\n",
+                            static_cast<long long>(i), region.centroid_x_km,
+                            region.centroid_y_km) > 0;
+  }
+  return std::fclose(file) == 0 && ok;
+}
+
+bool ReadRegionsCsv(const std::string& path, std::vector<Region>* regions) {
+  ODF_CHECK(regions != nullptr);
+  regions->clear();
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) return false;
+  std::string line;
+  if (!ReadLine(file, &line) || line != kRegionHeader) {
+    std::fclose(file);
+    return false;
+  }
+  long long expected_id = 0;
+  while (ReadLine(file, &line)) {
+    if (line.empty()) continue;
+    long long id = 0;
+    Region region;
+    if (std::sscanf(line.c_str(), "%lld,%lf,%lf", &id, &region.centroid_x_km,
+                    &region.centroid_y_km) != 3 ||
+        id != expected_id) {
+      ODF_LOG(Warning) << path << ": malformed or out-of-order region row '"
+                       << line << "'";
+      regions->clear();
+      std::fclose(file);
+      return false;
+    }
+    ++expected_id;
+    regions->push_back(region);
+  }
+  std::fclose(file);
+  return !regions->empty();
+}
+
+}  // namespace odf

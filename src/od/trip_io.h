@@ -1,0 +1,36 @@
+#ifndef ODF_OD_TRIP_IO_H_
+#define ODF_OD_TRIP_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/region_graph.h"
+#include "od/trip.h"
+
+namespace odf {
+
+// CSV interchange for trip records and region partitions, so the library
+// can be driven by real data (e.g. the NYC TLC dumps after map-matching
+// pickup/dropoff points to regions) instead of the built-in simulator.
+
+/// Writes trips as CSV with header
+/// `origin,destination,departure_s,distance_m,duration_s`.
+/// Returns false on I/O failure.
+bool WriteTripsCsv(const std::vector<Trip>& trips, const std::string& path);
+
+/// Reads trips from a CSV produced by WriteTripsCsv (or hand-made with the
+/// same header). Returns false and leaves `*trips` empty on open failure or
+/// any malformed row (the offending line is logged).
+bool ReadTripsCsv(const std::string& path, std::vector<Trip>* trips);
+
+/// Writes a region partition as CSV with header `region,centroid_x_km,
+/// centroid_y_km`. Returns false on I/O failure.
+bool WriteRegionsCsv(const RegionGraph& graph, const std::string& path);
+
+/// Reads a region partition CSV. Regions must be listed in id order
+/// 0..n-1. Returns false on failure.
+bool ReadRegionsCsv(const std::string& path, std::vector<Region>* regions);
+
+}  // namespace odf
+
+#endif  // ODF_OD_TRIP_IO_H_

@@ -1,0 +1,174 @@
+#include "tensor/linalg.h"
+
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+
+namespace odf {
+
+Tensor CholeskyFactor(const Tensor& a) {
+  ODF_CHECK_EQ(a.rank(), 2);
+  const int64_t n = a.dim(0);
+  ODF_CHECK_EQ(n, a.dim(1));
+  Tensor l(Shape({n, n}));
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j <= i; ++j) {
+      double sum = a.At2(i, j);
+      for (int64_t k = 0; k < j; ++k) {
+        sum -= static_cast<double>(l.At2(i, k)) * l.At2(j, k);
+      }
+      if (i == j) {
+        ODF_CHECK_GT(sum, 0.0) << "matrix not positive definite at row " << i;
+        l.At2(i, i) = static_cast<float>(std::sqrt(sum));
+      } else {
+        l.At2(i, j) = static_cast<float>(sum / l.At2(j, j));
+      }
+    }
+  }
+  return l;
+}
+
+Tensor ForwardSubstitute(const Tensor& l, const Tensor& b) {
+  ODF_CHECK_EQ(l.rank(), 2);
+  ODF_CHECK_EQ(b.rank(), 2);
+  const int64_t n = l.dim(0);
+  ODF_CHECK_EQ(n, l.dim(1));
+  ODF_CHECK_EQ(n, b.dim(0));
+  const int64_t m = b.dim(1);
+  Tensor y(Shape({n, m}));
+  for (int64_t c = 0; c < m; ++c) {
+    for (int64_t i = 0; i < n; ++i) {
+      double sum = b.At2(i, c);
+      for (int64_t k = 0; k < i; ++k) {
+        sum -= static_cast<double>(l.At2(i, k)) * y.At2(k, c);
+      }
+      y.At2(i, c) = static_cast<float>(sum / l.At2(i, i));
+    }
+  }
+  return y;
+}
+
+Tensor BackSubstituteTranspose(const Tensor& l, const Tensor& y) {
+  ODF_CHECK_EQ(l.rank(), 2);
+  ODF_CHECK_EQ(y.rank(), 2);
+  const int64_t n = l.dim(0);
+  ODF_CHECK_EQ(n, l.dim(1));
+  ODF_CHECK_EQ(n, y.dim(0));
+  const int64_t m = y.dim(1);
+  Tensor x(Shape({n, m}));
+  for (int64_t c = 0; c < m; ++c) {
+    for (int64_t i = n - 1; i >= 0; --i) {
+      double sum = y.At2(i, c);
+      for (int64_t k = i + 1; k < n; ++k) {
+        sum -= static_cast<double>(l.At2(k, i)) * x.At2(k, c);
+      }
+      x.At2(i, c) = static_cast<float>(sum / l.At2(i, i));
+    }
+  }
+  return x;
+}
+
+Tensor CholeskySolve(const Tensor& a, const Tensor& b) {
+  const Tensor l = CholeskyFactor(a);
+  return BackSubstituteTranspose(l, ForwardSubstitute(l, b));
+}
+
+Tensor RidgeSolve(const Tensor& a, const Tensor& b, float lambda) {
+  ODF_CHECK_EQ(a.rank(), 2);
+  ODF_CHECK_EQ(b.rank(), 2);
+  ODF_CHECK_EQ(a.dim(0), b.dim(0));
+  ODF_CHECK_GE(lambda, 0.0f);
+  const Tensor at = Transpose2D(a);
+  Tensor gram = MatMul(at, a);  // p×p
+  const int64_t p = gram.dim(0);
+  for (int64_t i = 0; i < p; ++i) gram.At2(i, i) += lambda;
+  return CholeskySolve(gram, MatMul(at, b));
+}
+
+float PowerIterationMaxEigenvalue(const Tensor& a, int iters) {
+  ODF_CHECK_EQ(a.rank(), 2);
+  const int64_t n = a.dim(0);
+  ODF_CHECK_EQ(n, a.dim(1));
+  ODF_CHECK_GT(n, 0);
+  // Deterministic, non-degenerate start vector.
+  Tensor v(Shape({n, 1}));
+  for (int64_t i = 0; i < n; ++i) {
+    v.At2(i, 0) = 1.0f + 0.37f * static_cast<float>(i % 7);
+  }
+  float eigen = 0.0f;
+  for (int it = 0; it < iters; ++it) {
+    Tensor w = MatMul(a, v);
+    const float norm = std::sqrt(SquaredNorm(w));
+    if (norm < 1e-20f) return 0.0f;
+    v = MulScalar(w, 1.0f / norm);
+    // Rayleigh quotient.
+    eigen = MatMul(Transpose2D(v), MatMul(a, v)).Item();
+  }
+  return eigen;
+}
+
+Tensor GaussianSolve(const Tensor& a, const Tensor& b) {
+  ODF_CHECK_EQ(a.rank(), 2);
+  ODF_CHECK_EQ(b.rank(), 2);
+  const int64_t n = a.dim(0);
+  ODF_CHECK_EQ(n, a.dim(1));
+  ODF_CHECK_EQ(n, b.dim(0));
+  const int64_t m = b.dim(1);
+  // Work in double precision on copies.
+  std::vector<double> aw(static_cast<size_t>(n * n));
+  std::vector<double> bw(static_cast<size_t>(n * m));
+  for (int64_t i = 0; i < n * n; ++i) aw[static_cast<size_t>(i)] = a[i];
+  for (int64_t i = 0; i < n * m; ++i) bw[static_cast<size_t>(i)] = b[i];
+
+  for (int64_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    int64_t pivot = col;
+    double best = std::fabs(aw[static_cast<size_t>(col * n + col)]);
+    for (int64_t r = col + 1; r < n; ++r) {
+      const double v = std::fabs(aw[static_cast<size_t>(r * n + col)]);
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    ODF_CHECK_GT(best, 1e-12) << "singular matrix in GaussianSolve";
+    if (pivot != col) {
+      for (int64_t c = 0; c < n; ++c) {
+        std::swap(aw[static_cast<size_t>(col * n + c)],
+                  aw[static_cast<size_t>(pivot * n + c)]);
+      }
+      for (int64_t c = 0; c < m; ++c) {
+        std::swap(bw[static_cast<size_t>(col * m + c)],
+                  bw[static_cast<size_t>(pivot * m + c)]);
+      }
+    }
+    const double inv = 1.0 / aw[static_cast<size_t>(col * n + col)];
+    for (int64_t r = col + 1; r < n; ++r) {
+      const double factor = aw[static_cast<size_t>(r * n + col)] * inv;
+      if (factor == 0.0) continue;
+      for (int64_t c = col; c < n; ++c) {
+        aw[static_cast<size_t>(r * n + c)] -=
+            factor * aw[static_cast<size_t>(col * n + c)];
+      }
+      for (int64_t c = 0; c < m; ++c) {
+        bw[static_cast<size_t>(r * m + c)] -=
+            factor * bw[static_cast<size_t>(col * m + c)];
+      }
+    }
+  }
+  // Back substitution.
+  Tensor x(Shape({n, m}));
+  for (int64_t c = 0; c < m; ++c) {
+    for (int64_t r = n - 1; r >= 0; --r) {
+      double sum = bw[static_cast<size_t>(r * m + c)];
+      for (int64_t k = r + 1; k < n; ++k) {
+        sum -= aw[static_cast<size_t>(r * n + k)] * x.At2(k, c);
+      }
+      x.At2(r, c) =
+          static_cast<float>(sum / aw[static_cast<size_t>(r * n + r)]);
+    }
+  }
+  return x;
+}
+
+}  // namespace odf

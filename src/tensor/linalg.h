@@ -1,0 +1,43 @@
+#ifndef ODF_TENSOR_LINALG_H_
+#define ODF_TENSOR_LINALG_H_
+
+#include "tensor/tensor.h"
+
+namespace odf {
+
+// Small dense linear algebra used by the classic baselines (GP, VAR) and the
+// graph substrate (spectral bounds). All matrices are rank-2 Tensors.
+
+/// Cholesky factorization of a symmetric positive-definite matrix `a`
+/// (n×n). Returns lower-triangular L with a = L Lᵀ. Aborts if `a` is not
+/// positive definite (add jitter to the diagonal first if needed).
+Tensor CholeskyFactor(const Tensor& a);
+
+/// Solves L y = b for y (forward substitution). L lower-triangular n×n,
+/// b n×m.
+Tensor ForwardSubstitute(const Tensor& l, const Tensor& b);
+
+/// Solves Lᵀ x = y for x (back substitution). L lower-triangular n×n, y n×m.
+Tensor BackSubstituteTranspose(const Tensor& l, const Tensor& y);
+
+/// Solves a x = b for symmetric positive-definite a (n×n), b (n×m), via
+/// Cholesky.
+Tensor CholeskySolve(const Tensor& a, const Tensor& b);
+
+/// Solves the ridge-regularized least squares problem
+///   min_X || A X - B ||² + lambda ||X||²
+/// for A (n×p), B (n×m); returns X (p×m). lambda must be > 0 when AᵀA may be
+/// singular.
+Tensor RidgeSolve(const Tensor& a, const Tensor& b, float lambda);
+
+/// Largest eigenvalue (by magnitude) of a symmetric matrix via power
+/// iteration; deterministic start vector. `iters` iterations.
+float PowerIterationMaxEigenvalue(const Tensor& a, int iters = 100);
+
+/// Solves a general square system a x = b with partial-pivot Gaussian
+/// elimination. a (n×n), b (n×m). Aborts on (numerically) singular a.
+Tensor GaussianSolve(const Tensor& a, const Tensor& b);
+
+}  // namespace odf
+
+#endif  // ODF_TENSOR_LINALG_H_

@@ -1,0 +1,125 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace odf {
+
+std::string Shape::ToString() const {
+  std::ostringstream os;
+  os << '[';
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    os << (i == 0 ? "" : ", ") << dims_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+Tensor Tensor::Full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  for (int64_t i = 0; i < t.numel(); ++i) t[i] = value;
+  return t;
+}
+
+Tensor Tensor::Identity(int64_t n) {
+  Tensor t(Shape({n, n}));
+  for (int64_t i = 0; i < n; ++i) t.At2(i, i) = 1.0f;
+  return t;
+}
+
+Tensor Tensor::Arange(int64_t n) {
+  Tensor t(Shape({n}));
+  for (int64_t i = 0; i < n; ++i) t[i] = static_cast<float>(i);
+  return t;
+}
+
+Tensor Tensor::RandomUniform(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.Uniform(lo, hi));
+  }
+  return t;
+}
+
+Tensor Tensor::RandomNormal(Shape shape, Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.Gaussian(mean, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::GlorotUniform(Shape shape, Rng& rng) {
+  ODF_CHECK_GE(shape.rank(), 2);
+  const int64_t fan_in = shape.dim(-2);
+  const int64_t fan_out = shape.dim(-1);
+  const float limit =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return RandomUniform(std::move(shape), rng, -limit, limit);
+}
+
+float& Tensor::At(const std::vector<int64_t>& index) {
+  ODF_CHECK_EQ(static_cast<int64_t>(index.size()), rank());
+  const auto strides = shape_.Strides();
+  int64_t flat = 0;
+  for (size_t i = 0; i < index.size(); ++i) {
+    ODF_DCHECK(index[i] >= 0 && index[i] < shape_.dims()[i]);
+    flat += index[i] * strides[i];
+  }
+  return data_[static_cast<size_t>(flat)];
+}
+
+float Tensor::At(const std::vector<int64_t>& index) const {
+  return const_cast<Tensor*>(this)->At(index);
+}
+
+std::vector<int64_t> Tensor::ResolveDims(std::vector<int64_t> dims) const {
+  int64_t known = 1;
+  int64_t infer_pos = -1;
+  for (size_t i = 0; i < dims.size(); ++i) {
+    if (dims[i] == -1) {
+      ODF_CHECK_EQ(infer_pos, -1) << "at most one -1 dim";
+      infer_pos = static_cast<int64_t>(i);
+    } else {
+      ODF_CHECK_GE(dims[i], 0);
+      known *= dims[i];
+    }
+  }
+  if (infer_pos >= 0) {
+    ODF_CHECK_GT(known, 0);
+    ODF_CHECK_EQ(numel() % known, 0)
+        << "cannot infer dim for reshape of " << shape_.ToString();
+    dims[static_cast<size_t>(infer_pos)] = numel() / known;
+  }
+  return dims;
+}
+
+Tensor Tensor::Reshape(std::vector<int64_t> dims) const& {
+  dims = ResolveDims(std::move(dims));
+  Shape new_shape(dims);
+  ODF_CHECK_EQ(new_shape.numel(), numel())
+      << "reshape " << shape_.ToString() << " -> " << new_shape.ToString();
+  return Tensor(std::move(new_shape), data_);
+}
+
+Tensor Tensor::Reshape(std::vector<int64_t> dims) && {
+  dims = ResolveDims(std::move(dims));
+  Shape new_shape(dims);
+  ODF_CHECK_EQ(new_shape.numel(), numel())
+      << "reshape " << shape_.ToString() << " -> " << new_shape.ToString();
+  return Tensor(std::move(new_shape), std::move(data_));
+}
+
+std::string Tensor::ToString() const {
+  std::ostringstream os;
+  os << "Tensor" << shape_.ToString() << " {";
+  const int64_t limit = 32;
+  for (int64_t i = 0; i < numel() && i < limit; ++i) {
+    os << (i == 0 ? "" : ", ") << data_[static_cast<size_t>(i)];
+  }
+  if (numel() > limit) os << ", ...";
+  os << '}';
+  return os.str();
+}
+
+}  // namespace odf

@@ -1,0 +1,439 @@
+#include "tensor/tensor_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace odf {
+namespace {
+
+// Iterates over a broadcast binary op. `out[i] = fn(a[ai], b[bi])` where the
+// flat indices ai/bi are computed with broadcast-aware strides.
+template <typename Fn>
+Tensor BroadcastBinary(const Tensor& a, const Tensor& b, Fn fn) {
+  if (a.shape() == b.shape()) {
+    Tensor out(a.shape());
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.data();
+    const int64_t n = a.numel();
+    for (int64_t i = 0; i < n; ++i) po[i] = fn(pa[i], pb[i]);
+    return out;
+  }
+  const Shape out_shape = BroadcastShape(a.shape(), b.shape());
+  Tensor out(out_shape);
+  const int64_t rank = out_shape.rank();
+
+  // Broadcast strides: stride 0 on broadcast dimensions.
+  auto broadcast_strides = [&](const Shape& s) {
+    std::vector<int64_t> strides(static_cast<size_t>(rank), 0);
+    const auto own = s.Strides();
+    const int64_t offset = rank - s.rank();
+    for (int64_t i = 0; i < s.rank(); ++i) {
+      if (s.dim(i) != 1) {
+        strides[static_cast<size_t>(offset + i)] = own[static_cast<size_t>(i)];
+      }
+    }
+    return strides;
+  };
+  const auto sa = broadcast_strides(a.shape());
+  const auto sb = broadcast_strides(b.shape());
+
+  std::vector<int64_t> index(static_cast<size_t>(rank), 0);
+  const int64_t n = out.numel();
+  int64_t ai = 0;
+  int64_t bi = 0;
+  for (int64_t flat = 0; flat < n; ++flat) {
+    out[flat] = fn(a[ai], b[bi]);
+    // Odometer increment.
+    for (int64_t d = rank - 1; d >= 0; --d) {
+      const size_t du = static_cast<size_t>(d);
+      ++index[du];
+      ai += sa[du];
+      bi += sb[du];
+      if (index[du] < out_shape.dim(d)) break;
+      ai -= sa[du] * out_shape.dim(d);
+      bi -= sb[du] * out_shape.dim(d);
+      index[du] = 0;
+    }
+  }
+  return out;
+}
+
+template <typename Fn>
+Tensor Unary(const Tensor& a, Fn fn) {
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) po[i] = fn(pa[i]);
+  return out;
+}
+
+}  // namespace
+
+Shape BroadcastShape(const Shape& a, const Shape& b) {
+  const int64_t rank = std::max(a.rank(), b.rank());
+  std::vector<int64_t> dims(static_cast<size_t>(rank), 1);
+  for (int64_t i = 0; i < rank; ++i) {
+    const int64_t da = i < rank - a.rank() ? 1 : a.dim(i - (rank - a.rank()));
+    const int64_t db = i < rank - b.rank() ? 1 : b.dim(i - (rank - b.rank()));
+    ODF_CHECK(da == db || da == 1 || db == 1)
+        << "incompatible broadcast: " << a.ToString() << " vs "
+        << b.ToString();
+    dims[static_cast<size_t>(i)] = std::max(da, db);
+  }
+  return Shape(dims);
+}
+
+bool IsBroadcastableTo(const Shape& from, const Shape& to) {
+  if (from.rank() > to.rank()) return false;
+  const int64_t offset = to.rank() - from.rank();
+  for (int64_t i = 0; i < from.rank(); ++i) {
+    if (from.dim(i) != 1 && from.dim(i) != to.dim(offset + i)) return false;
+  }
+  return true;
+}
+
+Tensor ReduceToShape(const Tensor& t, const Shape& target) {
+  if (t.shape() == target) return t;
+  ODF_CHECK(IsBroadcastableTo(target, t.shape()))
+      << t.shape().ToString() << " cannot reduce to " << target.ToString();
+  Tensor cur = t;
+  // First sum away leading extra dimensions.
+  while (cur.rank() > target.rank()) cur = Sum(cur, 0, /*keepdim=*/false);
+  // Then sum (keepdim) any axis where the target is 1 but cur is larger.
+  for (int64_t i = 0; i < target.rank(); ++i) {
+    if (target.dim(i) == 1 && cur.dim(i) != 1) {
+      cur = Sum(cur, i, /*keepdim=*/true);
+    }
+  }
+  ODF_CHECK(cur.shape() == target);
+  return cur;
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return BroadcastBinary(a, b, [](float x, float y) { return x + y; });
+}
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return BroadcastBinary(a, b, [](float x, float y) { return x - y; });
+}
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return BroadcastBinary(a, b, [](float x, float y) { return x * y; });
+}
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return BroadcastBinary(a, b, [](float x, float y) { return x / y; });
+}
+Tensor Maximum(const Tensor& a, const Tensor& b) {
+  return BroadcastBinary(a, b,
+                         [](float x, float y) { return x > y ? x : y; });
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  return Unary(a, [s](float x) { return x + s; });
+}
+Tensor MulScalar(const Tensor& a, float s) {
+  return Unary(a, [s](float x) { return x * s; });
+}
+
+Tensor Neg(const Tensor& a) {
+  return Unary(a, [](float x) { return -x; });
+}
+Tensor Exp(const Tensor& a) {
+  return Unary(a, [](float x) { return std::exp(x); });
+}
+Tensor Log(const Tensor& a) {
+  return Unary(a, [](float x) { return std::log(x); });
+}
+Tensor Sqrt(const Tensor& a) {
+  return Unary(a, [](float x) { return std::sqrt(x); });
+}
+Tensor Tanh(const Tensor& a) {
+  return Unary(a, [](float x) { return std::tanh(x); });
+}
+Tensor Sigmoid(const Tensor& a) {
+  return Unary(a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+}
+Tensor Relu(const Tensor& a) {
+  return Unary(a, [](float x) { return x > 0 ? x : 0.0f; });
+}
+Tensor Abs(const Tensor& a) {
+  return Unary(a, [](float x) { return std::fabs(x); });
+}
+Tensor Clamp(const Tensor& a, float lo, float hi) {
+  return Unary(a, [lo, hi](float x) { return std::min(std::max(x, lo), hi); });
+}
+Tensor Map(const Tensor& a, const std::function<float(float)>& fn) {
+  return Unary(a, fn);
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  ODF_CHECK_EQ(a.rank(), 2);
+  ODF_CHECK_EQ(b.rank(), 2);
+  const int64_t m = a.dim(0);
+  const int64_t k = a.dim(1);
+  const int64_t n = b.dim(1);
+  ODF_CHECK_EQ(k, b.dim(0)) << "matmul " << a.shape().ToString() << " x "
+                            << b.shape().ToString();
+  Tensor out(Shape({m, n}));
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  // i-k-j loop order: unit-stride inner loop, decent single-core throughput.
+  for (int64_t i = 0; i < m; ++i) {
+    float* orow = po + i * n;
+    const float* arow = pa + i * k;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor BatchMatMul(const Tensor& a, const Tensor& b) {
+  if (a.rank() == 2 && b.rank() == 2) return MatMul(a, b);
+  ODF_CHECK(a.rank() == 2 || a.rank() == 3);
+  ODF_CHECK(b.rank() == 2 || b.rank() == 3);
+  const int64_t batch = a.rank() == 3 ? a.dim(0) : b.dim(0);
+  if (a.rank() == 3 && b.rank() == 3) {
+    ODF_CHECK_EQ(a.dim(0), b.dim(0));
+  }
+  const int64_t m = a.dim(-2);
+  const int64_t k = a.dim(-1);
+  const int64_t n = b.dim(-1);
+  ODF_CHECK_EQ(k, b.dim(-2)) << "bmm " << a.shape().ToString() << " x "
+                             << b.shape().ToString();
+  Tensor out(Shape({batch, m, n}));
+  const int64_t a_step = a.rank() == 3 ? m * k : 0;
+  const int64_t b_step = b.rank() == 3 ? k * n : 0;
+  for (int64_t bi = 0; bi < batch; ++bi) {
+    const float* pa = a.data() + bi * a_step;
+    const float* pb = b.data() + bi * b_step;
+    float* po = out.data() + bi * m * n;
+    for (int64_t i = 0; i < m; ++i) {
+      float* orow = po + i * n;
+      const float* arow = pa + i * k;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float av = arow[kk];
+        if (av == 0.0f) continue;
+        const float* brow = pb + kk * n;
+        for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Transpose2D(const Tensor& a) {
+  ODF_CHECK_EQ(a.rank(), 2);
+  const int64_t m = a.dim(0);
+  const int64_t n = a.dim(1);
+  Tensor out(Shape({n, m}));
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) out.At2(j, i) = a.At2(i, j);
+  }
+  return out;
+}
+
+Tensor TransposeLast2(const Tensor& a) {
+  ODF_CHECK_GE(a.rank(), 2);
+  if (a.rank() == 2) return Transpose2D(a);
+  std::vector<int64_t> perm(static_cast<size_t>(a.rank()));
+  for (int64_t i = 0; i < a.rank(); ++i) perm[static_cast<size_t>(i)] = i;
+  std::swap(perm[static_cast<size_t>(a.rank() - 1)],
+            perm[static_cast<size_t>(a.rank() - 2)]);
+  return Permute(a, perm);
+}
+
+Tensor Permute(const Tensor& a, const std::vector<int64_t>& perm) {
+  ODF_CHECK_EQ(static_cast<int64_t>(perm.size()), a.rank());
+  std::vector<int64_t> new_dims(perm.size());
+  for (size_t i = 0; i < perm.size(); ++i) new_dims[i] = a.dim(perm[i]);
+  Tensor out{Shape(new_dims)};
+  const auto in_strides = a.shape().Strides();
+  std::vector<int64_t> src_strides(perm.size());
+  for (size_t i = 0; i < perm.size(); ++i) {
+    src_strides[i] = in_strides[static_cast<size_t>(perm[i])];
+  }
+  const int64_t rank = a.rank();
+  std::vector<int64_t> index(perm.size(), 0);
+  int64_t src = 0;
+  const int64_t n = a.numel();
+  for (int64_t flat = 0; flat < n; ++flat) {
+    out[flat] = a[src];
+    for (int64_t d = rank - 1; d >= 0; --d) {
+      const size_t du = static_cast<size_t>(d);
+      ++index[du];
+      src += src_strides[du];
+      if (index[du] < new_dims[du]) break;
+      src -= src_strides[du] * new_dims[du];
+      index[du] = 0;
+    }
+  }
+  return out;
+}
+
+Tensor Concat(const std::vector<Tensor>& parts, int64_t axis) {
+  ODF_CHECK(!parts.empty());
+  const Tensor& first = parts.front();
+  if (axis < 0) axis += first.rank();
+  ODF_CHECK_GE(axis, 0);
+  ODF_CHECK_LT(axis, first.rank());
+  int64_t concat_dim = 0;
+  for (const Tensor& p : parts) {
+    ODF_CHECK_EQ(p.rank(), first.rank());
+    for (int64_t d = 0; d < first.rank(); ++d) {
+      if (d != axis) {
+        ODF_CHECK_EQ(p.dim(d), first.dim(d));
+      }
+    }
+    concat_dim += p.dim(axis);
+  }
+  std::vector<int64_t> dims = first.shape().dims();
+  dims[static_cast<size_t>(axis)] = concat_dim;
+  Tensor out{Shape(dims)};
+
+  // outer = product of dims before axis; inner = product after axis.
+  int64_t outer = 1;
+  for (int64_t d = 0; d < axis; ++d) outer *= first.dim(d);
+  int64_t inner = 1;
+  for (int64_t d = axis + 1; d < first.rank(); ++d) inner *= first.dim(d);
+
+  int64_t dest_offset = 0;
+  const int64_t out_row = concat_dim * inner;
+  for (const Tensor& p : parts) {
+    const int64_t p_row = p.dim(axis) * inner;
+    for (int64_t o = 0; o < outer; ++o) {
+      const float* src = p.data() + o * p_row;
+      float* dst = out.data() + o * out_row + dest_offset;
+      std::copy(src, src + p_row, dst);
+    }
+    dest_offset += p_row;
+  }
+  return out;
+}
+
+Tensor Slice(const Tensor& a, int64_t axis, int64_t start, int64_t len) {
+  if (axis < 0) axis += a.rank();
+  ODF_CHECK_GE(axis, 0);
+  ODF_CHECK_LT(axis, a.rank());
+  ODF_CHECK_GE(start, 0);
+  ODF_CHECK_GE(len, 0);
+  ODF_CHECK_LE(start + len, a.dim(axis));
+  std::vector<int64_t> dims = a.shape().dims();
+  dims[static_cast<size_t>(axis)] = len;
+  Tensor out{Shape(dims)};
+  int64_t outer = 1;
+  for (int64_t d = 0; d < axis; ++d) outer *= a.dim(d);
+  int64_t inner = 1;
+  for (int64_t d = axis + 1; d < a.rank(); ++d) inner *= a.dim(d);
+  const int64_t src_row = a.dim(axis) * inner;
+  const int64_t dst_row = len * inner;
+  for (int64_t o = 0; o < outer; ++o) {
+    const float* src = a.data() + o * src_row + start * inner;
+    float* dst = out.data() + o * dst_row;
+    std::copy(src, src + dst_row, dst);
+  }
+  return out;
+}
+
+Tensor SumAll(const Tensor& a) {
+  double total = 0;
+  for (int64_t i = 0; i < a.numel(); ++i) total += a[i];
+  return Tensor::Scalar(static_cast<float>(total));
+}
+
+Tensor MeanAll(const Tensor& a) {
+  ODF_CHECK_GT(a.numel(), 0);
+  return Tensor::Scalar(SumAll(a).Item() / static_cast<float>(a.numel()));
+}
+
+Tensor Sum(const Tensor& a, int64_t axis, bool keepdim) {
+  if (axis < 0) axis += a.rank();
+  ODF_CHECK_GE(axis, 0);
+  ODF_CHECK_LT(axis, a.rank());
+  int64_t outer = 1;
+  for (int64_t d = 0; d < axis; ++d) outer *= a.dim(d);
+  const int64_t mid = a.dim(axis);
+  int64_t inner = 1;
+  for (int64_t d = axis + 1; d < a.rank(); ++d) inner *= a.dim(d);
+
+  std::vector<int64_t> dims = a.shape().dims();
+  if (keepdim) {
+    dims[static_cast<size_t>(axis)] = 1;
+  } else {
+    dims.erase(dims.begin() + axis);
+    if (dims.empty()) dims.push_back(1);
+  }
+  Tensor out{Shape(dims)};
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t m = 0; m < mid; ++m) {
+      const float* src = a.data() + (o * mid + m) * inner;
+      float* dst = out.data() + o * inner;
+      for (int64_t i = 0; i < inner; ++i) dst[i] += src[i];
+    }
+  }
+  return out;
+}
+
+Tensor Mean(const Tensor& a, int64_t axis, bool keepdim) {
+  const int64_t resolved = axis < 0 ? axis + a.rank() : axis;
+  const float denom = static_cast<float>(a.dim(resolved));
+  return MulScalar(Sum(a, axis, keepdim), 1.0f / denom);
+}
+
+float MaxValue(const Tensor& a) {
+  ODF_CHECK_GT(a.numel(), 0);
+  float best = a[0];
+  for (int64_t i = 1; i < a.numel(); ++i) best = std::max(best, a[i]);
+  return best;
+}
+
+float MinValue(const Tensor& a) {
+  ODF_CHECK_GT(a.numel(), 0);
+  float best = a[0];
+  for (int64_t i = 1; i < a.numel(); ++i) best = std::min(best, a[i]);
+  return best;
+}
+
+Tensor SoftmaxLastDim(const Tensor& a) {
+  ODF_CHECK_GE(a.rank(), 1);
+  const int64_t inner = a.dim(-1);
+  ODF_CHECK_GT(inner, 0);
+  const int64_t outer = a.numel() / inner;
+  Tensor out(a.shape());
+  for (int64_t o = 0; o < outer; ++o) {
+    const float* src = a.data() + o * inner;
+    float* dst = out.data() + o * inner;
+    float max_v = src[0];
+    for (int64_t i = 1; i < inner; ++i) max_v = std::max(max_v, src[i]);
+    float total = 0;
+    for (int64_t i = 0; i < inner; ++i) {
+      dst[i] = std::exp(src[i] - max_v);
+      total += dst[i];
+    }
+    const float inv = 1.0f / total;
+    for (int64_t i = 0; i < inner; ++i) dst[i] *= inv;
+  }
+  return out;
+}
+
+float SquaredNorm(const Tensor& a) {
+  double total = 0;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    total += static_cast<double>(a[i]) * a[i];
+  }
+  return static_cast<float>(total);
+}
+
+bool AllClose(const Tensor& a, const Tensor& b, float atol) {
+  if (a.shape() != b.shape()) return false;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    if (std::fabs(a[i] - b[i]) > atol) return false;
+  }
+  return true;
+}
+
+}  // namespace odf

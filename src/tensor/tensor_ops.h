@@ -1,0 +1,111 @@
+#ifndef ODF_TENSOR_TENSOR_OPS_H_
+#define ODF_TENSOR_TENSOR_OPS_H_
+
+#include <functional>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace odf {
+
+// Pure tensor kernels. These operate on values only; the autograd layer
+// (src/autograd) builds differentiable graph nodes on top of them.
+
+// -- Broadcasting -------------------------------------------------------
+
+/// Returns the numpy-style broadcast shape of `a` and `b`; aborts if the
+/// shapes are incompatible.
+Shape BroadcastShape(const Shape& a, const Shape& b);
+
+/// True when `from` can be broadcast to `to`.
+bool IsBroadcastableTo(const Shape& from, const Shape& to);
+
+/// Sums `t` over its broadcast dimensions so the result has shape `target`
+/// (the adjoint of broadcasting; used by autograd backward passes).
+Tensor ReduceToShape(const Tensor& t, const Shape& target);
+
+// -- Elementwise binary (with broadcasting) ------------------------------
+
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+Tensor Div(const Tensor& a, const Tensor& b);
+Tensor Maximum(const Tensor& a, const Tensor& b);
+
+// -- Scalar ops ----------------------------------------------------------
+
+Tensor AddScalar(const Tensor& a, float s);
+Tensor MulScalar(const Tensor& a, float s);
+
+// -- Elementwise unary ----------------------------------------------------
+
+Tensor Neg(const Tensor& a);
+Tensor Exp(const Tensor& a);
+/// Natural log; inputs must be positive (use AddScalar for smoothing).
+Tensor Log(const Tensor& a);
+Tensor Sqrt(const Tensor& a);
+Tensor Tanh(const Tensor& a);
+Tensor Sigmoid(const Tensor& a);
+Tensor Relu(const Tensor& a);
+Tensor Abs(const Tensor& a);
+/// Clamps every element into [lo, hi].
+Tensor Clamp(const Tensor& a, float lo, float hi);
+/// Applies an arbitrary scalar function elementwise (test/utility use).
+Tensor Map(const Tensor& a, const std::function<float(float)>& fn);
+
+// -- Matrix products ------------------------------------------------------
+
+/// 2-D matrix product: [m,k] x [k,n] -> [m,n].
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// Batched matrix product with leading-batch broadcasting:
+/// [B,m,k] x [B,k,n] -> [B,m,n]; either side may be rank-2 and is broadcast
+/// across the batch.
+Tensor BatchMatMul(const Tensor& a, const Tensor& b);
+
+// -- Layout ---------------------------------------------------------------
+
+/// Transposes a rank-2 tensor.
+Tensor Transpose2D(const Tensor& a);
+
+/// Swaps the last two dimensions of a rank>=2 tensor.
+Tensor TransposeLast2(const Tensor& a);
+
+/// General permutation of axes; `perm` must be a permutation of 0..rank-1.
+Tensor Permute(const Tensor& a, const std::vector<int64_t>& perm);
+
+/// Concatenates tensors along `axis`; all other dims must match.
+Tensor Concat(const std::vector<Tensor>& parts, int64_t axis);
+
+/// Extracts `len` indices starting at `start` along `axis`.
+Tensor Slice(const Tensor& a, int64_t axis, int64_t start, int64_t len);
+
+// -- Reductions -----------------------------------------------------------
+
+/// Sum over all elements, returned as a shape-{1} tensor.
+Tensor SumAll(const Tensor& a);
+/// Mean over all elements, returned as a shape-{1} tensor.
+Tensor MeanAll(const Tensor& a);
+/// Sum along one axis; `keepdim` keeps the reduced axis with size 1.
+Tensor Sum(const Tensor& a, int64_t axis, bool keepdim);
+/// Mean along one axis.
+Tensor Mean(const Tensor& a, int64_t axis, bool keepdim);
+/// Largest element (value only).
+float MaxValue(const Tensor& a);
+/// Smallest element (value only).
+float MinValue(const Tensor& a);
+
+// -- Neural-net helpers -----------------------------------------------------
+
+/// Softmax along the last axis.
+Tensor SoftmaxLastDim(const Tensor& a);
+
+/// Squared Frobenius norm (sum of squares) as a float.
+float SquaredNorm(const Tensor& a);
+
+/// True when shapes match and elements differ by at most `atol`.
+bool AllClose(const Tensor& a, const Tensor& b, float atol = 1e-5f);
+
+}  // namespace odf
+
+#endif  // ODF_TENSOR_TENSOR_OPS_H_

@@ -1,0 +1,83 @@
+#ifndef ODF_UTIL_CHECK_H_
+#define ODF_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+// Contract-checking macros in the spirit of glog's CHECK family.
+//
+// The library does not use exceptions across API boundaries (Google style);
+// a violated precondition is a programming error and aborts with a message
+// that names the failing expression and source location.
+
+namespace odf::internal {
+
+/// Formats the failure banner and aborts. Never returns.
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& message) {
+  std::fprintf(stderr, "[ODF_CHECK failed] %s:%d: %s %s\n", file, line, expr,
+               message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+/// Stream sink that lets `ODF_CHECK(x) << "context"` accumulate a message.
+class CheckMessage {
+ public:
+  CheckMessage(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  CheckMessage(const CheckMessage&) = delete;
+  CheckMessage& operator=(const CheckMessage&) = delete;
+
+  template <typename T>
+  CheckMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckMessage() {
+    CheckFailed(file_, line_, expr_, stream_.str());
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace odf::internal
+
+#define ODF_CHECK(condition)                                          \
+  if (condition) {                                                    \
+  } else                                                              \
+    ::odf::internal::CheckMessage(__FILE__, __LINE__, "CHECK(" #condition ")")
+
+#define ODF_CHECK_OP(op, a, b)                                            \
+  if ((a)op(b)) {                                                         \
+  } else                                                                  \
+    ::odf::internal::CheckMessage(__FILE__, __LINE__,                     \
+                                  "CHECK(" #a " " #op " " #b ")")         \
+        << "(lhs=" << (a) << ", rhs=" << (b) << ") "
+
+#define ODF_CHECK_EQ(a, b) ODF_CHECK_OP(==, a, b)
+#define ODF_CHECK_NE(a, b) ODF_CHECK_OP(!=, a, b)
+#define ODF_CHECK_LT(a, b) ODF_CHECK_OP(<, a, b)
+#define ODF_CHECK_LE(a, b) ODF_CHECK_OP(<=, a, b)
+#define ODF_CHECK_GT(a, b) ODF_CHECK_OP(>, a, b)
+#define ODF_CHECK_GE(a, b) ODF_CHECK_OP(>=, a, b)
+
+#ifndef NDEBUG
+#define ODF_DCHECK(condition) ODF_CHECK(condition)
+#else
+#define ODF_DCHECK(condition) \
+  if (true) {                 \
+  } else                      \
+    ::odf::internal::CheckMessage(__FILE__, __LINE__, "")
+#endif
+
+#endif  // ODF_UTIL_CHECK_H_

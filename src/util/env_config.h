@@ -1,0 +1,27 @@
+#ifndef ODF_UTIL_ENV_CONFIG_H_
+#define ODF_UTIL_ENV_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace odf {
+
+// Small helpers for environment-driven experiment configuration. Benchmarks
+// and examples use these so that their scale can be adjusted without
+// recompiling (e.g. `ODF_SCALE=paper ./bench_table2_overall`).
+
+/// Returns the value of environment variable `name`, or `fallback` if unset.
+std::string GetEnvString(const char* name, const std::string& fallback);
+
+/// Returns `name` parsed as int64, or `fallback` if unset/unparseable.
+int64_t GetEnvInt(const char* name, int64_t fallback);
+
+/// Returns `name` parsed as double, or `fallback` if unset/unparseable.
+double GetEnvDouble(const char* name, double fallback);
+
+/// Returns true when `name` is set to a truthy value ("1", "true", "on").
+bool GetEnvBool(const char* name, bool fallback);
+
+}  // namespace odf
+
+#endif  // ODF_UTIL_ENV_CONFIG_H_

@@ -1,0 +1,153 @@
+#ifndef ODF_UTIL_RNG_H_
+#define ODF_UTIL_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace odf {
+
+/// Deterministic, seedable pseudo-random number generator
+/// (xoshiro256** seeded via splitmix64).
+///
+/// Every stochastic component in the library takes an explicit `Rng&` or a
+/// seed so that all experiments, tests and benchmarks are reproducible.
+class Rng {
+ public:
+  /// Creates a generator whose full state is derived from `seed`.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) { Seed(seed); }
+
+  /// Re-seeds the generator deterministically.
+  void Seed(uint64_t seed) {
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      // splitmix64 step.
+      x += 0x9E3779B97F4A7C15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      s = z ^ (z >> 31);
+    }
+    has_cached_gaussian_ = false;
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double Uniform() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n) {
+    ODF_CHECK_GT(n, 0u);
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t threshold = (0 - n) % n;
+    for (;;) {
+      const uint64_t r = NextU64();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Standard normal via Box–Muller (cached pair).
+  double Gaussian() {
+    if (has_cached_gaussian_) {
+      has_cached_gaussian_ = false;
+      return cached_gaussian_;
+    }
+    double u1 = Uniform();
+    while (u1 <= 1e-300) u1 = Uniform();
+    const double u2 = Uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cached_gaussian_ = r * std::sin(theta);
+    has_cached_gaussian_ = true;
+    return r * std::cos(theta);
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  /// Lognormal: exp(N(mu, sigma)).
+  double LogNormal(double mu, double sigma) {
+    return std::exp(Gaussian(mu, sigma));
+  }
+
+  /// Poisson-distributed count (Knuth for small lambda, normal approx above).
+  int Poisson(double lambda) {
+    ODF_CHECK_GE(lambda, 0.0);
+    if (lambda <= 0.0) return 0;
+    if (lambda > 30.0) {
+      const double v = Gaussian(lambda, std::sqrt(lambda));
+      return v < 0 ? 0 : static_cast<int>(v + 0.5);
+    }
+    const double limit = std::exp(-lambda);
+    double p = 1.0;
+    int k = 0;
+    do {
+      ++k;
+      p *= Uniform();
+    } while (p > limit);
+    return k - 1;
+  }
+
+  /// Bernoulli draw.
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  /// Samples an index from an (unnormalized) non-negative weight vector.
+  size_t Categorical(const std::vector<double>& weights) {
+    double total = 0;
+    for (double w : weights) {
+      ODF_DCHECK(w >= 0);
+      total += w;
+    }
+    ODF_CHECK_GT(total, 0.0);
+    double target = Uniform() * total;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      target -= weights[i];
+      if (target <= 0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  /// Zipf-like rank weights: weight(i) ∝ 1/(i+1)^exponent for i in [0, n).
+  static std::vector<double> ZipfWeights(size_t n, double exponent) {
+    std::vector<double> w(n);
+    for (size_t i = 0; i < n; ++i) {
+      w[i] = 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+    }
+    return w;
+  }
+
+  /// Splits off an independent generator (for parallel / per-module streams).
+  Rng Split() { return Rng(NextU64() ^ 0xD3833E804F4C574Bull); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace odf
+
+#endif  // ODF_UTIL_RNG_H_

@@ -1,0 +1,46 @@
+#ifndef ODF_UTIL_TABLE_H_
+#define ODF_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace odf {
+
+/// Column-aligned plain-text table used by the benchmark harnesses to print
+/// paper-style result tables; can also serialize itself as CSV.
+///
+/// Usage:
+///   Table t({"method", "KL", "JS", "EMD"});
+///   t.AddRow({"AF", Table::Num(0.912), Table::Num(0.186), Table::Num(0.583)});
+///   t.Print(stdout);
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Formats a double with fixed precision (default 4 digits).
+  static std::string Num(double value, int precision = 4);
+
+  /// Appends one row; must have exactly as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Number of data rows.
+  size_t NumRows() const { return rows_.size(); }
+
+  /// Renders the aligned table (with a header separator) to `out`.
+  void Print(std::FILE* out) const;
+
+  /// Renders the table as RFC-4180-ish CSV.
+  std::string ToCsv() const;
+
+  /// Writes ToCsv() to `path`; returns false on I/O failure.
+  bool WriteCsv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace odf
+
+#endif  // ODF_UTIL_TABLE_H_

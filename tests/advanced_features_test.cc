@@ -1,0 +1,250 @@
+// Tests for the later-stage features: travel-time distributions (the
+// paper's introduction use-case), flow-based EMD (Eq. 15), and multi-layer
+// seq2seq stacks (Table I's n-layer configurations).
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/advanced_framework.h"
+#include "core/basic_framework.h"
+#include "graph/laplacian.h"
+#include "graph/region_graph.h"
+#include "metrics/divergence.h"
+#include "nn/gcgru.h"
+#include "nn/gru.h"
+#include "od/travel_time.h"
+#include "util/rng.h"
+
+namespace odf {
+namespace {
+
+namespace ag = odf::autograd;
+
+// ---------------------------------------------------------------------
+// Travel-time distributions.
+// ---------------------------------------------------------------------
+
+TEST(TravelTimeTest, PaperIntroductionExample) {
+  // Paper Sec. I: speed histogram {[10,20):0.5, [20,30):0.3, [30,40):0.2}
+  // km/h over 15 km gives times {[22.5,30):0.2, [30,45):0.3, [45,90):0.5}.
+  // Model it with 10 km/h-wide buckets ≈ 2.7778 m/s.
+  const double width_ms = 10.0 / 3.6;
+  SpeedHistogramSpec spec(4, width_ms);
+  // Bucket 0 = [0,10) km/h (empty), 1 = [10,20): 0.5, 2 = [20,30): 0.3,
+  // 3 = [30,inf): 0.2.
+  std::vector<float> histogram = {0.0f, 0.5f, 0.3f, 0.2f};
+  auto bands = TravelTimeDistribution(histogram, spec, 15.0);
+  ASSERT_EQ(bands.size(), 3u);
+  // Fastest first: the 30-40 km/h band takes 22.5-30 minutes.
+  EXPECT_NEAR(bands[0].minutes_lo, 22.5, 0.1);
+  EXPECT_NEAR(bands[0].minutes_hi, 30.0, 0.1);
+  EXPECT_NEAR(bands[0].probability, 0.2, 1e-6);
+  EXPECT_NEAR(bands[1].minutes_lo, 30.0, 0.1);
+  EXPECT_NEAR(bands[1].minutes_hi, 45.0, 0.1);
+  EXPECT_NEAR(bands[2].minutes_lo, 45.0, 0.1);
+  EXPECT_NEAR(bands[2].minutes_hi, 90.0, 0.1);
+
+  // The paper's conclusion: reserve at least 90 minutes to be safe.
+  EXPECT_NEAR(ReserveMinutes(bands, 0.95), 90.0, 0.1);
+  EXPECT_NEAR(ReserveMinutes(bands, 1.0), 90.0, 0.1);
+  // 20% confidence is satisfied by the fastest band alone.
+  EXPECT_NEAR(ReserveMinutes(bands, 0.2), 30.0, 0.1);
+}
+
+TEST(TravelTimeTest, QuantileMonotoneInConfidence) {
+  SpeedHistogramSpec spec = SpeedHistogramSpec::Paper();
+  std::vector<float> histogram = {0.1f, 0.2f, 0.3f, 0.2f, 0.1f, 0.05f,
+                                  0.05f};
+  auto bands = TravelTimeDistribution(histogram, spec, 5.0);
+  double prev = 0;
+  for (double confidence : {0.1, 0.3, 0.5, 0.7, 0.9, 0.99}) {
+    const double reserve = ReserveMinutes(bands, confidence);
+    EXPECT_GE(reserve, prev);
+    prev = reserve;
+  }
+  EXPECT_GT(ExpectedTravelMinutes(bands), 0.0);
+}
+
+TEST(TravelTimeTest, ZeroProbabilityBucketsDropped) {
+  SpeedHistogramSpec spec(3, 3.0);
+  std::vector<float> histogram = {0.0f, 1.0f, 0.0f};
+  auto bands = TravelTimeDistribution(histogram, spec, 3.0);
+  ASSERT_EQ(bands.size(), 1u);
+  // 3 km at 3-6 m/s: 8.33 - 16.67 minutes.
+  EXPECT_NEAR(bands[0].minutes_lo, 3000.0 / 6.0 / 60.0, 1e-6);
+  EXPECT_NEAR(bands[0].minutes_hi, 3000.0 / 3.0 / 60.0, 1e-6);
+}
+
+TEST(TravelTimeTest, SlowBucketCappedByFloorSpeed) {
+  SpeedHistogramSpec spec(2, 3.0);
+  std::vector<float> histogram = {1.0f, 0.0f};
+  auto bands = TravelTimeDistribution(histogram, spec, 1.0, 0.5);
+  ASSERT_EQ(bands.size(), 1u);
+  // Floor speed 0.5 m/s bounds the slow band to 1000/0.5/60 min.
+  EXPECT_NEAR(bands[0].minutes_hi, 1000.0 / 0.5 / 60.0, 1e-6);
+}
+
+// ---------------------------------------------------------------------
+// Flow-based EMD (paper Eq. 15).
+// ---------------------------------------------------------------------
+
+TEST(EmdFlowTest, AgreesWithClosedFormAcrossRandomHistograms) {
+  Rng rng(31);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int k = 2 + static_cast<int>(rng.UniformInt(9));
+    std::vector<float> a(static_cast<size_t>(k));
+    std::vector<float> b(static_cast<size_t>(k));
+    float sa = 0;
+    float sb = 0;
+    for (int i = 0; i < k; ++i) {
+      a[static_cast<size_t>(i)] = static_cast<float>(rng.Uniform());
+      b[static_cast<size_t>(i)] = static_cast<float>(rng.Uniform());
+      sa += a[static_cast<size_t>(i)];
+      sb += b[static_cast<size_t>(i)];
+    }
+    for (int i = 0; i < k; ++i) {
+      a[static_cast<size_t>(i)] /= sa;
+      b[static_cast<size_t>(i)] /= sb;
+    }
+    const double closed = EarthMoversDistance(a.data(), b.data(), k);
+    const double flow_based =
+        EarthMoversDistanceWithFlow(a.data(), b.data(), k);
+    EXPECT_NEAR(closed, flow_based, 1e-5) << "k=" << k;
+  }
+}
+
+TEST(EmdFlowTest, FlowMarginalsMatchHistograms) {
+  const float m[] = {0.5f, 0.3f, 0.2f};
+  const float mhat[] = {0.1f, 0.2f, 0.7f};
+  std::vector<double> flow;
+  EarthMoversDistanceWithFlow(m, mhat, 3, &flow);
+  ASSERT_EQ(flow.size(), 9u);
+  for (int i = 0; i < 3; ++i) {
+    double row = 0;
+    double col = 0;
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_GE(flow[static_cast<size_t>(i * 3 + j)], 0.0);
+      row += flow[static_cast<size_t>(i * 3 + j)];
+      col += flow[static_cast<size_t>(j * 3 + i)];
+    }
+    EXPECT_NEAR(row, m[i], 1e-6);
+    EXPECT_NEAR(col, mhat[i], 1e-6);
+  }
+}
+
+TEST(EmdFlowTest, IdenticalHistogramsDiagonalFlow) {
+  const float m[] = {0.4f, 0.6f};
+  std::vector<double> flow;
+  const double cost = EarthMoversDistanceWithFlow(m, m, 2, &flow);
+  EXPECT_NEAR(cost, 0.0, 1e-9);
+  EXPECT_NEAR(flow[0], 0.4, 1e-6);
+  EXPECT_NEAR(flow[3], 0.6, 1e-6);
+  EXPECT_NEAR(flow[1] + flow[2], 0.0, 1e-9);
+}
+
+// ---------------------------------------------------------------------
+// Multi-layer stacks.
+// ---------------------------------------------------------------------
+
+TEST(MultiLayerTest, StackedGruShapesAndParamGrowth) {
+  Rng rng1(41);
+  nn::Seq2SeqGru one(4, 8, rng1, false, 1);
+  Rng rng2(41);
+  nn::Seq2SeqGru two(4, 8, rng2, false, 2);
+  EXPECT_EQ(one.num_layers(), 1);
+  EXPECT_EQ(two.num_layers(), 2);
+  EXPECT_GT(two.NumParameters(), one.NumParameters());
+
+  std::vector<ag::Var> inputs;
+  Rng data_rng(42);
+  for (int t = 0; t < 3; ++t) {
+    inputs.push_back(
+        ag::Var::Constant(Tensor::RandomNormal(Shape({2, 4}), data_rng)));
+  }
+  auto outputs = two.Forward(inputs, 2);
+  ASSERT_EQ(outputs.size(), 2u);
+  EXPECT_EQ(outputs[0].shape(), Shape({2, 4}));
+}
+
+TEST(MultiLayerTest, StackedGcGruShapes) {
+  RegionGraph g = RegionGraph::Grid(2, 3, 1.0);
+  Tensor lap = ScaledLaplacian(Laplacian(g.ProximityMatrix({1.0, 1.5})));
+  Rng rng(43);
+  nn::Seq2SeqGcGru model(lap, 3, 5, 2, rng, /*num_layers=*/2);
+  EXPECT_EQ(model.num_layers(), 2);
+  std::vector<ag::Var> inputs;
+  Rng data_rng(44);
+  for (int t = 0; t < 3; ++t) {
+    inputs.push_back(
+        ag::Var::Constant(Tensor::RandomNormal(Shape({2, 6, 3}), data_rng)));
+  }
+  auto outputs = model.Forward(inputs, 1);
+  ASSERT_EQ(outputs.size(), 1u);
+  EXPECT_EQ(outputs[0].shape(), Shape({2, 6, 3}));
+}
+
+TEST(MultiLayerTest, TwoLayerBfTrainsAndPredicts) {
+  BasicFrameworkConfig config;
+  config.gru_layers = 2;
+  BasicFramework model(4, 4, 3, 1, config);
+
+  BasicFrameworkConfig single;
+  BasicFramework baseline(4, 4, 3, 1, single);
+  EXPECT_GT(model.NumParameters(), baseline.NumParameters());
+
+  OdTensorSeries series;
+  for (int t = 0; t < 20; ++t) {
+    OdTensor tensor(4, 4, 3);
+    tensor.SetHistogram(0, 1, {1.0f, 0.0f, 0.0f});
+    series.tensors.push_back(tensor);
+  }
+  ForecastDataset dataset(&series, 3, 1);
+  auto split = dataset.ChronologicalSplit(0.7, 0.1);
+  TrainConfig train;
+  train.epochs = 2;
+  model.Fit(dataset, split, train);
+  auto predictions = model.Predict(dataset.MakeBatch({0}));
+  EXPECT_EQ(predictions[0].shape(), Shape({1, 4, 4, 3}));
+}
+
+TEST(MultiLayerTest, TwoLayerAfPredicts) {
+  RegionGraph g = RegionGraph::Grid(3, 3, 1.0);
+  AdvancedFrameworkConfig config;
+  config.gcgru_layers = 2;
+  AdvancedFramework model(g, g, 3, 1, config);
+
+  OdTensorSeries series;
+  for (int t = 0; t < 10; ++t) {
+    OdTensor tensor(9, 9, 3);
+    tensor.SetHistogram(0, 1, {1.0f, 0.0f, 0.0f});
+    series.tensors.push_back(tensor);
+  }
+  ForecastDataset dataset(&series, 3, 1);
+  auto predictions = model.Predict(dataset.MakeBatch({0}));
+  EXPECT_EQ(predictions[0].shape(), Shape({1, 9, 9, 3}));
+  // Histogram validity survives stacking.
+  for (int64_t i = 0; i < predictions[0].numel() / 3; ++i) {
+    float total = 0;
+    for (int64_t k = 0; k < 3; ++k) total += predictions[0][i * 3 + k];
+    EXPECT_NEAR(total, 1.0f, 1e-4f);
+  }
+}
+
+TEST(MultiLayerTest, SingleLayerDefaultUnchangedByStackingSupport) {
+  // Determinism guard: the num_layers=1 path must produce the same
+  // initialization as before the stacking refactor (same RNG order).
+  Rng rng_a(7);
+  nn::Seq2SeqGru a(3, 4, rng_a);
+  Rng rng_b(7);
+  nn::Seq2SeqGru b(3, 4, rng_b, false, 1);
+  auto pa = a.Parameters();
+  auto pb = b.Parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_TRUE(AllClose(pa[i].value(), pb[i].value(), 0.0f));
+  }
+}
+
+}  // namespace
+}  // namespace odf

@@ -1,0 +1,201 @@
+// Edge cases and failure injection: contract violations must abort with
+// ODF_CHECK (death tests), and degenerate-but-legal inputs (empty
+// intervals, all-unobserved targets, single-region cities) must be handled
+// gracefully.
+
+#include <gtest/gtest.h>
+
+#include "core/basic_framework.h"
+#include "core/loss_util.h"
+#include "core/trainer.h"
+#include "graph/coarsen.h"
+#include "graph/laplacian.h"
+#include "graph/region_graph.h"
+#include "od/dataset.h"
+#include "od/od_tensor.h"
+#include "tensor/linalg.h"
+#include "tensor/tensor_ops.h"
+
+namespace odf {
+namespace {
+
+namespace ag = odf::autograd;
+
+// ---------------------------------------------------------------------
+// Contract-violation death tests.
+// ---------------------------------------------------------------------
+
+TEST(TensorDeathTest, ShapeMismatchAborts) {
+  Tensor a(Shape({2, 3}));
+  Tensor b(Shape({3, 3}));
+  EXPECT_DEATH(MatMul(a, Tensor(Shape({2, 3}))), "matmul");
+  EXPECT_DEATH(Add(a, b), "broadcast");
+  EXPECT_DEATH(a.Reshape({5}), "reshape");
+  EXPECT_DEATH(Slice(a, 0, 1, 5), "CHECK");
+  EXPECT_DEATH(Concat({a, b}, 1), "CHECK");
+}
+
+TEST(TensorDeathTest, ScalarExtractionRequiresSingleElement) {
+  Tensor a(Shape({2}));
+  EXPECT_DEATH(a.Item(), "CHECK");
+}
+
+TEST(AutogradDeathTest, BackwardRequiresScalar) {
+  ag::Var v(Tensor(Shape({3})), true);
+  EXPECT_DEATH(v.Backward(), "scalar");
+}
+
+TEST(AutogradDeathTest, SetValueOnNonLeafAborts) {
+  ag::Var a(Tensor::Scalar(1.0f), true);
+  ag::Var b = ag::Mul(a, a);
+  EXPECT_DEATH(b.SetValue(Tensor::Scalar(2.0f)), "non-leaf");
+}
+
+TEST(OdDeathTest, UnnormalizedHistogramRejected) {
+  OdTensor tensor(2, 2, 3);
+  EXPECT_DEATH(tensor.SetHistogram(0, 0, {0.5f, 0.5f, 0.5f}), "normalized");
+  EXPECT_DEATH(tensor.SetHistogram(0, 0, {0.5f, 0.5f}), "CHECK");
+}
+
+TEST(OdDeathTest, DatasetTooShortAborts) {
+  OdTensorSeries series;
+  for (int t = 0; t < 3; ++t) series.tensors.emplace_back(2, 2, 2);
+  EXPECT_DEATH(ForecastDataset(&series, 3, 1), "too short");
+}
+
+TEST(LinalgDeathTest, NonSpdCholeskyAborts) {
+  Tensor not_spd(Shape({2, 2}), {1.0f, 2.0f, 2.0f, 1.0f});  // eigen -1, 3
+  EXPECT_DEATH(CholeskyFactor(not_spd), "positive definite");
+}
+
+TEST(LinalgDeathTest, SingularGaussianSolveAborts) {
+  Tensor singular(Shape({2, 2}), {1.0f, 2.0f, 2.0f, 4.0f});
+  Tensor b(Shape({2, 1}), {1.0f, 1.0f});
+  EXPECT_DEATH(GaussianSolve(singular, b), "singular");
+}
+
+// ---------------------------------------------------------------------
+// Degenerate-but-legal inputs.
+// ---------------------------------------------------------------------
+
+TEST(EdgeTest, AllZeroInputTensorsStillPredictHistograms) {
+  // Night intervals can be fully unobserved: inputs all zero.
+  OdTensorSeries series;
+  for (int t = 0; t < 12; ++t) series.tensors.emplace_back(3, 3, 4);
+  ForecastDataset dataset(&series, 3, 1);
+  BasicFrameworkConfig config;
+  BasicFramework model(3, 3, 4, 1, config);
+  Batch batch = dataset.MakeBatch({0, 5});
+  auto predictions = model.Predict(batch);
+  for (int64_t i = 0; i < predictions[0].numel() / 4; ++i) {
+    float total = 0;
+    for (int64_t k = 0; k < 4; ++k) total += predictions[0][i * 4 + k];
+    EXPECT_NEAR(total, 1.0f, 1e-4f);
+  }
+}
+
+TEST(EdgeTest, LossOnFullyUnobservedTargetsIsFinite) {
+  OdTensorSeries series;
+  for (int t = 0; t < 12; ++t) series.tensors.emplace_back(3, 3, 4);
+  ForecastDataset dataset(&series, 3, 1);
+  BasicFrameworkConfig config;
+  BasicFramework model(3, 3, 4, 1, config);
+  Batch batch = dataset.MakeBatch({0});
+  Rng rng(1);
+  const float loss = model.Loss(batch, /*train=*/true, rng).value().Item();
+  EXPECT_TRUE(std::isfinite(loss));
+  // Gradient step on an empty batch must not produce NaNs.
+  ag::Var loss_var = model.Loss(batch, true, rng);
+  model.ZeroGrad();
+  loss_var.Backward();
+  for (const auto& p : model.Parameters()) {
+    EXPECT_TRUE(std::isfinite(SquaredNorm(p.grad())));
+  }
+}
+
+TEST(EdgeTest, SingleRegionCityWorks) {
+  RegionGraph graph{std::vector<Region>{Region{0.0, 0.0}}};
+  Tensor w = graph.ProximityMatrix({.sigma = 1.0, .alpha = 1.0});
+  EXPECT_EQ(w.numel(), 1);
+  EXPECT_EQ(w[0], 0.0f);
+  // Laplacian of the trivial graph is 0; scaled form falls back to -I.
+  Tensor scaled = ScaledLaplacian(Laplacian(w));
+  EXPECT_FLOAT_EQ(scaled[0], -1.0f);
+  // Coarsening a single node keeps a single cluster.
+  CoarseningLevel level = CoarsenOnce(w);
+  ASSERT_EQ(level.clusters.size(), 1u);
+  EXPECT_EQ(level.clusters[0].size(), 1u);
+}
+
+TEST(EdgeTest, DisconnectedGraphCoarsens) {
+  // Two 2-node components.
+  Tensor w(Shape({4, 4}));
+  w.At2(0, 1) = w.At2(1, 0) = 1.0f;
+  w.At2(2, 3) = w.At2(3, 2) = 1.0f;
+  CoarseningLevel level = CoarsenOnce(w);
+  EXPECT_EQ(level.clusters.size(), 2u);
+  for (const auto& cluster : level.clusters) {
+    ASSERT_EQ(cluster.size(), 2u);
+    EXPECT_GT(w.At2(cluster[0], cluster[1]), 0.0f);
+  }
+}
+
+TEST(EdgeTest, MaskedSquaredErrorWithEmptyMaskIsZero) {
+  ag::Var pred(Tensor::Ones(Shape({2, 2})), true);
+  Tensor target(Shape({2, 2}));
+  Tensor mask(Shape({2, 2}));  // all zero
+  ag::Var loss = ag::MaskedSquaredError(pred, target, mask, 1.0f);
+  EXPECT_FLOAT_EQ(loss.value().Item(), 0.0f);
+  loss.Backward();
+  EXPECT_FLOAT_EQ(SquaredNorm(pred.grad()), 0.0f);
+}
+
+TEST(EdgeTest, SliceZeroLength) {
+  Tensor a = Tensor::Arange(6).Reshape({2, 3});
+  Tensor empty = Slice(a, 1, 1, 0);
+  EXPECT_EQ(empty.shape(), Shape({2, 0}));
+  EXPECT_EQ(empty.numel(), 0);
+}
+
+TEST(EdgeTest, SumOfEmptyTensor) {
+  Tensor empty(Shape({0}));
+  EXPECT_EQ(SumAll(empty).Item(), 0.0f);
+}
+
+TEST(EdgeTest, BatchOfOneSample) {
+  OdTensorSeries series;
+  for (int t = 0; t < 8; ++t) {
+    OdTensor tensor(2, 2, 2);
+    tensor.SetHistogram(0, 1, {1.0f, 0.0f});
+    series.tensors.push_back(tensor);
+  }
+  ForecastDataset dataset(&series, 3, 1);
+  Batch batch = dataset.MakeBatch({2});
+  EXPECT_EQ(batch.batch_size(), 1);
+  EXPECT_EQ(batch.inputs.size(), 3u);
+  EXPECT_EQ(batch.inputs[0].shape(), Shape({1, 2, 2, 2}));
+}
+
+TEST(EdgeTest, TrainingWithTinyBatchAndOneEpoch) {
+  OdTensorSeries series;
+  Rng rng(2);
+  for (int t = 0; t < 16; ++t) {
+    OdTensor tensor(2, 2, 2);
+    const float p = static_cast<float>(rng.Uniform());
+    tensor.SetHistogram(0, 1, {p, 1.0f - p});
+    series.tensors.push_back(tensor);
+  }
+  ForecastDataset dataset(&series, 3, 1);
+  auto split = dataset.ChronologicalSplit(0.6, 0.2);
+  BasicFrameworkConfig config;
+  BasicFramework model(2, 2, 2, 1, config);
+  TrainConfig train;
+  train.epochs = 1;
+  train.batch_size = 1;
+  TrainResult result = TrainForecaster(model, dataset, split, train);
+  EXPECT_EQ(result.epochs_run, 1);
+  EXPECT_TRUE(std::isfinite(result.train_losses[0]));
+}
+
+}  // namespace
+}  // namespace odf

@@ -1,0 +1,174 @@
+#include "graph/region_graph.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "graph/coarsen.h"
+#include "graph/laplacian.h"
+#include "tensor/linalg.h"
+#include "tensor/tensor_ops.h"
+
+namespace odf {
+namespace {
+
+TEST(RegionGraphTest, GridLayout) {
+  RegionGraph g = RegionGraph::Grid(2, 3, 1.0);
+  EXPECT_EQ(g.size(), 6);
+  // Row-major ids: region 0 at (0.5, 0.5), region 3 at (0.5, 1.5).
+  EXPECT_DOUBLE_EQ(g.region(0).centroid_x_km, 0.5);
+  EXPECT_DOUBLE_EQ(g.region(0).centroid_y_km, 0.5);
+  EXPECT_DOUBLE_EQ(g.region(3).centroid_y_km, 1.5);
+  EXPECT_DOUBLE_EQ(g.DistanceKm(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(g.DistanceKm(0, 3), 1.0);
+  EXPECT_NEAR(g.DistanceKm(0, 4), std::sqrt(2.0), 1e-12);
+}
+
+TEST(RegionGraphTest, IrregularCityDeterministic) {
+  RegionGraph a = RegionGraph::IrregularCity(20, 8.0, 6.0, 77);
+  RegionGraph b = RegionGraph::IrregularCity(20, 8.0, 6.0, 77);
+  EXPECT_EQ(a.size(), 20);
+  for (int64_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.region(i).centroid_x_km, b.region(i).centroid_x_km);
+    EXPECT_DOUBLE_EQ(a.region(i).centroid_y_km, b.region(i).centroid_y_km);
+  }
+}
+
+TEST(ProximityMatrixTest, SymmetricZeroDiagonalCutoff) {
+  RegionGraph g = RegionGraph::Grid(3, 3, 1.0);
+  Tensor w = g.ProximityMatrix({.sigma = 1.0, .alpha = 1.1});
+  for (int64_t i = 0; i < 9; ++i) {
+    EXPECT_EQ(w.At2(i, i), 0.0f);
+    for (int64_t j = 0; j < 9; ++j) {
+      EXPECT_FLOAT_EQ(w.At2(i, j), w.At2(j, i));
+    }
+  }
+  // alpha=1.1 keeps 4-neighbour links, cuts diagonals (d=sqrt(2)).
+  EXPECT_GT(w.At2(0, 1), 0.0f);
+  EXPECT_GT(w.At2(0, 3), 0.0f);
+  EXPECT_EQ(w.At2(0, 4), 0.0f);
+  // Gaussian kernel at d=1, sigma=1: exp(-1).
+  EXPECT_NEAR(w.At2(0, 1), std::exp(-1.0f), 1e-6f);
+}
+
+TEST(ProximityMatrixTest, SigmaControlsDecay) {
+  RegionGraph g = RegionGraph::Grid(1, 3, 1.0);
+  Tensor narrow = g.ProximityMatrix({.sigma = 0.5, .alpha = 5.0});
+  Tensor wide = g.ProximityMatrix({.sigma = 2.0, .alpha = 5.0});
+  EXPECT_LT(narrow.At2(0, 2), wide.At2(0, 2));
+}
+
+TEST(LaplacianTest, RowSumsZero) {
+  RegionGraph g = RegionGraph::Grid(3, 3, 1.0);
+  Tensor w = g.ProximityMatrix({.sigma = 1.0, .alpha = 1.5});
+  Tensor l = Laplacian(w);
+  for (int64_t i = 0; i < 9; ++i) {
+    float row = 0;
+    for (int64_t j = 0; j < 9; ++j) row += l.At2(i, j);
+    EXPECT_NEAR(row, 0.0f, 1e-5f);
+  }
+}
+
+TEST(LaplacianTest, PositiveSemiDefinite) {
+  RegionGraph g = RegionGraph::Grid(2, 4, 1.0);
+  Tensor w = g.ProximityMatrix({.sigma = 1.0, .alpha = 1.5});
+  Tensor l = Laplacian(w);
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    Tensor x = Tensor::RandomNormal(Shape({8, 1}), rng);
+    const float quad = MatMul(Transpose2D(x), MatMul(l, x)).Item();
+    EXPECT_GE(quad, -1e-4f);
+  }
+}
+
+TEST(LaplacianTest, NormalizedLaplacianDiagonalOnes) {
+  RegionGraph g = RegionGraph::Grid(3, 3, 1.0);
+  Tensor w = g.ProximityMatrix({.sigma = 1.0, .alpha = 1.5});
+  Tensor l = NormalizedLaplacian(w);
+  for (int64_t i = 0; i < 9; ++i) EXPECT_FLOAT_EQ(l.At2(i, i), 1.0f);
+}
+
+TEST(ScaledLaplacianTest, SpectrumInMinusOneOne) {
+  RegionGraph g = RegionGraph::Grid(3, 3, 1.0);
+  Tensor w = g.ProximityMatrix({.sigma = 1.0, .alpha = 1.5});
+  Tensor l = Laplacian(w);
+  Tensor scaled = ScaledLaplacian(l);
+  // λ_max of L̂ must be (numerically) at most 1.
+  const float eig = PowerIterationMaxEigenvalue(scaled, 200);
+  EXPECT_LE(std::fabs(eig), 1.0f + 1e-3f);
+}
+
+TEST(ScaledLaplacianTest, EdgelessGraphGivesMinusIdentity) {
+  Tensor w(Shape({3, 3}));  // no edges
+  Tensor scaled = ScaledLaplacian(Laplacian(w));
+  for (int64_t i = 0; i < 3; ++i) {
+    for (int64_t j = 0; j < 3; ++j) {
+      EXPECT_FLOAT_EQ(scaled.At2(i, j), i == j ? -1.0f : 0.0f);
+    }
+  }
+}
+
+TEST(CoarsenTest, ClustersPartitionNodes) {
+  RegionGraph g = RegionGraph::Grid(3, 4, 1.0);
+  Tensor w = g.ProximityMatrix({.sigma = 1.0, .alpha = 1.5});
+  CoarseningLevel level = CoarsenOnce(w);
+  std::vector<int> seen(12, 0);
+  for (const auto& cluster : level.clusters) {
+    EXPECT_GE(cluster.size(), 1u);
+    EXPECT_LE(cluster.size(), 2u);
+    for (int64_t i : cluster) ++seen[static_cast<size_t>(i)];
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);
+  // Pairwise coarsening roughly halves the node count.
+  EXPECT_GE(level.clusters.size(), 6u);
+  EXPECT_LE(level.clusters.size(), 12u);
+}
+
+TEST(CoarsenTest, PairedNodesAreNeighbours) {
+  RegionGraph g = RegionGraph::Grid(4, 4, 1.0);
+  Tensor w = g.ProximityMatrix({.sigma = 1.0, .alpha = 1.1});
+  CoarseningLevel level = CoarsenOnce(w);
+  for (const auto& cluster : level.clusters) {
+    if (cluster.size() == 2) {
+      // The paper's cluster pooling requirement: pooled nodes share an edge.
+      EXPECT_GT(w.At2(cluster[0], cluster[1]), 0.0f)
+          << cluster[0] << "," << cluster[1];
+    }
+  }
+}
+
+TEST(CoarsenTest, HierarchyShrinks) {
+  RegionGraph g = RegionGraph::Grid(4, 4, 1.0);
+  Tensor w = g.ProximityMatrix({.sigma = 1.0, .alpha = 1.5});
+  auto levels = BuildCoarseningHierarchy(w, 3);
+  ASSERT_GE(levels.size(), 2u);
+  size_t prev = 16;
+  for (const auto& level : levels) {
+    EXPECT_LT(level.clusters.size(), prev);
+    prev = level.clusters.size();
+    EXPECT_EQ(level.coarse_w.dim(0),
+              static_cast<int64_t>(level.clusters.size()));
+  }
+}
+
+TEST(CoarsenTest, CoarseWeightsAggregate) {
+  // Triangle 0-1-2 with weights; clusters {0,1} and {2}.
+  Tensor w(Shape({3, 3}));
+  w.At2(0, 1) = w.At2(1, 0) = 1.0f;
+  w.At2(1, 2) = w.At2(2, 1) = 2.0f;
+  w.At2(0, 2) = w.At2(2, 0) = 3.0f;
+  Tensor coarse = CoarseWeights(w, {{0, 1}, {2}});
+  EXPECT_EQ(coarse.shape(), Shape({2, 2}));
+  EXPECT_FLOAT_EQ(coarse.At2(0, 1), 5.0f);  // 2 + 3
+  EXPECT_FLOAT_EQ(coarse.At2(0, 0), 0.0f);
+}
+
+TEST(CoarsenTest, NaiveClustersIdOrder) {
+  auto clusters = NaiveClusters(7, 2);
+  ASSERT_EQ(clusters.size(), 4u);
+  EXPECT_EQ(clusters[0], (std::vector<int64_t>{0, 1}));
+  EXPECT_EQ(clusters[3], (std::vector<int64_t>{6}));
+}
+
+}  // namespace
+}  // namespace odf

@@ -1,0 +1,172 @@
+// End-to-end integration tests: simulate a city, build the OD pipeline,
+// train the frameworks, and check the qualitative relationships the paper's
+// evaluation rests on. Kept small enough for CI (a few seconds).
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/fc_gru.h"
+#include "baselines/naive_histogram.h"
+#include "core/advanced_framework.h"
+#include "core/basic_framework.h"
+#include "core/experiment.h"
+#include "core/trainer.h"
+#include "sim/trip_generator.h"
+
+namespace odf {
+namespace {
+
+struct Pipeline {
+  DatasetSpec spec;
+  OdTensorSeries series;
+  ForecastDataset dataset;
+  ForecastDataset::Split split;
+
+  static Pipeline Make(int64_t history, int64_t horizon) {
+    DatasetSpec spec = MakeNycLike(4, 4, /*num_days=*/6,
+                                   /*interval_minutes=*/60);
+    TripGenerator generator(spec.graph, spec.config);
+    OdTensorSeries series = BuildOdTensorSeries(
+        generator.Generate(), generator.time_partition(), 16, 16,
+        SpeedHistogramSpec::Paper());
+    return Pipeline(std::move(spec), std::move(series), history, horizon);
+  }
+
+  Pipeline(DatasetSpec s, OdTensorSeries ser, int64_t history,
+           int64_t horizon)
+      : spec(std::move(s)),
+        series(std::move(ser)),
+        dataset(&series, history, horizon),
+        split(dataset.ChronologicalSplit(0.7, 0.1)) {}
+};
+
+TrainConfig Train(int epochs) {
+  TrainConfig config;
+  config.epochs = epochs;
+  config.batch_size = 16;
+  config.patience = epochs;
+  return config;
+}
+
+TEST(IntegrationTest, TrainedAfBeatsUntrainedAndUniform) {
+  Pipeline pipe = Pipeline::Make(4, 1);
+  AdvancedFrameworkConfig config;
+  AdvancedFramework model(pipe.spec.graph, pipe.spec.graph, 7, 1, config);
+
+  const auto before =
+      EvaluateForecaster(model, pipe.dataset, pipe.split.test, 16);
+  model.Fit(pipe.dataset, pipe.split, Train(6));
+  const auto after =
+      EvaluateForecaster(model, pipe.dataset, pipe.split.test, 16);
+  EXPECT_LT(after[0].Mean(Metric::kEmd), before[0].Mean(Metric::kEmd));
+  EXPECT_LT(after[0].Mean(Metric::kJs), before[0].Mean(Metric::kJs));
+  // An untrained softmax output is near-uniform; EMD(uniform, data) on the
+  // 7-bucket histograms is around 1.7-2.3. Trained must be clearly better.
+  EXPECT_LT(after[0].Mean(Metric::kEmd), 1.2);
+}
+
+TEST(IntegrationTest, DeepModelsBeatNaiveHistogramOnDynamics) {
+  // The simulator has strong time-of-day dynamics, which NH cannot track
+  // but the recurrent models can.
+  Pipeline pipe = Pipeline::Make(4, 1);
+
+  NaiveHistogramForecaster nh;
+  nh.Fit(pipe.dataset, pipe.split, {});
+  const auto nh_result =
+      EvaluateForecaster(nh, pipe.dataset, pipe.split.test, 16);
+
+  AdvancedFrameworkConfig config;
+  AdvancedFramework af(pipe.spec.graph, pipe.spec.graph, 7, 1, config);
+  af.Fit(pipe.dataset, pipe.split, Train(8));
+  const auto af_result =
+      EvaluateForecaster(af, pipe.dataset, pipe.split.test, 16);
+
+  EXPECT_LT(af_result[0].Mean(Metric::kEmd), nh_result[0].Mean(Metric::kEmd));
+}
+
+TEST(IntegrationTest, MultiStepErrorGrowsWithHorizon) {
+  // Paper observation 5: forecasts further into the future are harder.
+  Pipeline pipe = Pipeline::Make(4, 3);
+  AdvancedFrameworkConfig config;
+  AdvancedFramework model(pipe.spec.graph, pipe.spec.graph, 7, 3, config);
+  model.Fit(pipe.dataset, pipe.split, Train(8));
+  const auto result =
+      EvaluateForecaster(model, pipe.dataset, pipe.split.test, 16);
+  ASSERT_EQ(result.size(), 3u);
+  // h=3 must be no better than h=1 (allow small noise margin).
+  EXPECT_GE(result[2].Mean(Metric::kEmd),
+            result[0].Mean(Metric::kEmd) * 0.95);
+}
+
+TEST(IntegrationTest, PredictionsAreAlwaysValidHistograms) {
+  Pipeline pipe = Pipeline::Make(3, 2);
+  BasicFrameworkConfig config;
+  BasicFramework model(16, 16, 7, 2, config);
+  model.Fit(pipe.dataset, pipe.split, Train(2));
+  Batch batch = pipe.dataset.MakeBatch(
+      {pipe.split.test.front(), pipe.split.test.back()});
+  for (const Tensor& step : model.Predict(batch)) {
+    for (int64_t i = 0; i < step.numel() / 7; ++i) {
+      float total = 0;
+      for (int64_t k = 0; k < 7; ++k) {
+        const float v = step[i * 7 + k];
+        EXPECT_TRUE(std::isfinite(v));
+        EXPECT_GE(v, 0.0f);
+        total += v;
+      }
+      ASSERT_NEAR(total, 1.0f, 1e-4f);
+    }
+  }
+}
+
+TEST(IntegrationTest, TimeOfDayEvaluationCoversAllTestData) {
+  Pipeline pipe = Pipeline::Make(4, 1);
+  NaiveHistogramForecaster nh;
+  nh.Fit(pipe.dataset, pipe.split, {});
+  TimePartition tp(60, 6);
+  const auto result = EvaluateByTimeOfDay(nh, pipe.dataset, pipe.split.test,
+                                          tp, 3, 16);
+  ASSERT_EQ(result.bins.size(), 8u);
+  double share = 0;
+  int64_t pairs = 0;
+  for (size_t i = 0; i < result.bins.size(); ++i) {
+    share += result.data_share[i];
+    pairs += result.bins[i].count();
+  }
+  EXPECT_NEAR(share, 1.0, 1e-9);
+  const auto flat = EvaluateForecaster(nh, pipe.dataset, pipe.split.test, 16);
+  EXPECT_EQ(pairs, flat[0].count());
+}
+
+TEST(IntegrationTest, DistanceEvaluationSkipsFarPairs) {
+  Pipeline pipe = Pipeline::Make(4, 1);
+  NaiveHistogramForecaster nh;
+  nh.Fit(pipe.dataset, pipe.split, {});
+  const std::vector<double> edges = {0.0, 1.0, 2.0};
+  const auto groups =
+      EvaluateByDistance(nh, pipe.dataset, pipe.split.test, pipe.spec.graph,
+                         pipe.spec.graph, edges, 16);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_GT(groups[0].count(), 0);
+  EXPECT_GT(groups[1].count(), 0);
+  // Far pairs (grid diameter > 2 km) were skipped.
+  const auto flat = EvaluateForecaster(nh, pipe.dataset, pipe.split.test, 16);
+  EXPECT_LT(groups[0].count() + groups[1].count(), flat[0].count());
+}
+
+TEST(IntegrationTest, FullyDeterministicAcrossRuns) {
+  auto run_once = [] {
+    Pipeline pipe = Pipeline::Make(3, 1);
+    FcGruConfig config;
+    FcGruForecaster fc(16, 16, 7, 1, config);
+    fc.Fit(pipe.dataset, pipe.split, Train(2));
+    const auto result =
+        EvaluateForecaster(fc, pipe.dataset, pipe.split.test, 16);
+    return result[0].Mean(Metric::kEmd);
+  };
+  EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace odf

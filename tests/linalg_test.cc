@@ -1,0 +1,96 @@
+#include "tensor/linalg.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor_ops.h"
+
+namespace odf {
+namespace {
+
+Tensor RandomSpd(int64_t n, Rng& rng) {
+  Tensor a = Tensor::RandomNormal(Shape({n, n}), rng);
+  Tensor spd = MatMul(Transpose2D(a), a);
+  for (int64_t i = 0; i < n; ++i) spd.At2(i, i) += static_cast<float>(n);
+  return spd;
+}
+
+TEST(LinalgTest, CholeskyReconstructs) {
+  Rng rng(42);
+  Tensor a = RandomSpd(6, rng);
+  Tensor l = CholeskyFactor(a);
+  Tensor back = MatMul(l, Transpose2D(l));
+  EXPECT_TRUE(AllClose(back, a, 1e-3f));
+  // L must be lower triangular.
+  for (int64_t i = 0; i < 6; ++i) {
+    for (int64_t j = i + 1; j < 6; ++j) EXPECT_EQ(l.At2(i, j), 0.0f);
+  }
+}
+
+TEST(LinalgTest, CholeskySolveRecoversSolution) {
+  Rng rng(1);
+  Tensor a = RandomSpd(5, rng);
+  Tensor x_true = Tensor::RandomNormal(Shape({5, 2}), rng);
+  Tensor b = MatMul(a, x_true);
+  Tensor x = CholeskySolve(a, b);
+  EXPECT_TRUE(AllClose(x, x_true, 1e-3f));
+}
+
+TEST(LinalgTest, GaussianSolveRecoversSolution) {
+  Rng rng(2);
+  Tensor a = Tensor::RandomNormal(Shape({6, 6}), rng);
+  for (int64_t i = 0; i < 6; ++i) a.At2(i, i) += 4.0f;  // well-conditioned
+  Tensor x_true = Tensor::RandomNormal(Shape({6, 3}), rng);
+  Tensor b = MatMul(a, x_true);
+  Tensor x = GaussianSolve(a, b);
+  EXPECT_TRUE(AllClose(x, x_true, 1e-3f));
+}
+
+TEST(LinalgTest, RidgeSolveZeroLambdaIsLeastSquares) {
+  // Overdetermined consistent system: ridge(0) must recover it exactly.
+  Rng rng(3);
+  Tensor a = Tensor::RandomNormal(Shape({20, 4}), rng);
+  Tensor x_true = Tensor::RandomNormal(Shape({4, 1}), rng);
+  Tensor b = MatMul(a, x_true);
+  Tensor x = RidgeSolve(a, b, 1e-6f);
+  EXPECT_TRUE(AllClose(x, x_true, 1e-2f));
+}
+
+TEST(LinalgTest, RidgeShrinksTowardZero) {
+  Rng rng(4);
+  Tensor a = Tensor::RandomNormal(Shape({30, 3}), rng);
+  Tensor b = Tensor::RandomNormal(Shape({30, 1}), rng);
+  Tensor x_small = RidgeSolve(a, b, 0.01f);
+  Tensor x_large = RidgeSolve(a, b, 1000.0f);
+  EXPECT_LT(SquaredNorm(x_large), SquaredNorm(x_small));
+}
+
+TEST(LinalgTest, PowerIterationDiagonal) {
+  Tensor a(Shape({3, 3}));
+  a.At2(0, 0) = 1.0f;
+  a.At2(1, 1) = 5.0f;
+  a.At2(2, 2) = 3.0f;
+  EXPECT_NEAR(PowerIterationMaxEigenvalue(a), 5.0f, 1e-3f);
+}
+
+TEST(LinalgTest, PowerIterationKnownMatrix) {
+  // [[2,1],[1,2]] has eigenvalues 1 and 3.
+  Tensor a(Shape({2, 2}), {2, 1, 1, 2});
+  EXPECT_NEAR(PowerIterationMaxEigenvalue(a), 3.0f, 1e-3f);
+}
+
+TEST(LinalgTest, ForwardBackSubstitution) {
+  Tensor l(Shape({3, 3}), {2, 0, 0, 1, 3, 0, 4, 5, 6});
+  Tensor b(Shape({3, 1}), {2, 5, 32});
+  Tensor y = ForwardSubstitute(l, b);
+  // y = [1, 4/3, 23/9]... verify L y = b instead.
+  Tensor ly = MatMul(l, y);
+  EXPECT_TRUE(AllClose(ly, b, 1e-4f));
+  Tensor x = BackSubstituteTranspose(l, y);
+  Tensor ltx = MatMul(Transpose2D(l), x);
+  EXPECT_TRUE(AllClose(ltx, y, 1e-4f));
+}
+
+}  // namespace
+}  // namespace odf

@@ -1,0 +1,177 @@
+#include "metrics/divergence.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "metrics/evaluation.h"
+#include "util/rng.h"
+
+namespace odf {
+namespace {
+
+TEST(DivergenceTest, IdenticalHistogramsScoreZeroIsh) {
+  const float m[] = {0.5f, 0.3f, 0.2f};
+  EXPECT_NEAR(KlDivergence(m, m, 3), 0.0, 1e-9);
+  EXPECT_NEAR(JsDivergence(m, m, 3), 0.0, 1e-9);
+  EXPECT_NEAR(EarthMoversDistance(m, m, 3), 0.0, 1e-9);
+}
+
+TEST(DivergenceTest, KlHandlesZeroBucketsViaSmoothing) {
+  const float m[] = {1.0f, 0.0f};
+  const float mhat[] = {0.0f, 1.0f};
+  const double kl = KlDivergence(m, mhat, 2);
+  EXPECT_TRUE(std::isfinite(kl));
+  EXPECT_GT(kl, 0.0);
+}
+
+TEST(DivergenceTest, JsSymmetricAndBounded) {
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    float m[5];
+    float mhat[5];
+    float sm = 0;
+    float sh = 0;
+    for (int i = 0; i < 5; ++i) {
+      m[i] = static_cast<float>(rng.Uniform());
+      mhat[i] = static_cast<float>(rng.Uniform());
+      sm += m[i];
+      sh += mhat[i];
+    }
+    for (int i = 0; i < 5; ++i) {
+      m[i] /= sm;
+      mhat[i] /= sh;
+    }
+    const double ab = JsDivergence(m, mhat, 5);
+    const double ba = JsDivergence(mhat, m, 5);
+    EXPECT_NEAR(ab, ba, 1e-9);
+    EXPECT_GE(ab, -1e-9);
+    EXPECT_LE(ab, std::log(2.0) + 1e-6);
+  }
+}
+
+TEST(DivergenceTest, EmdAdjacentBucketShift) {
+  // Moving all mass one bucket over costs exactly 1.
+  const float m[] = {1.0f, 0.0f, 0.0f};
+  const float one_over[] = {0.0f, 1.0f, 0.0f};
+  const float two_over[] = {0.0f, 0.0f, 1.0f};
+  EXPECT_NEAR(EarthMoversDistance(m, one_over, 3), 1.0, 1e-9);
+  EXPECT_NEAR(EarthMoversDistance(m, two_over, 3), 2.0, 1e-9);
+}
+
+TEST(DivergenceTest, EmdSymmetryAndTriangle) {
+  Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    float a[4];
+    float b[4];
+    float c[4];
+    auto normalize = [&](float* h) {
+      float total = 0;
+      for (int i = 0; i < 4; ++i) {
+        h[i] = static_cast<float>(rng.Uniform());
+        total += h[i];
+      }
+      for (int i = 0; i < 4; ++i) h[i] /= total;
+    };
+    normalize(a);
+    normalize(b);
+    normalize(c);
+    const double ab = EarthMoversDistance(a, b, 4);
+    const double ba = EarthMoversDistance(b, a, 4);
+    const double ac = EarthMoversDistance(a, c, 4);
+    const double cb = EarthMoversDistance(c, b, 4);
+    EXPECT_NEAR(ab, ba, 1e-9);
+    EXPECT_LE(ab, ac + cb + 1e-9);  // triangle inequality
+  }
+}
+
+TEST(DivergenceTest, EmdPartialMove) {
+  // Half the mass moves one bucket: cost 0.5.
+  const float m[] = {1.0f, 0.0f};
+  const float mhat[] = {0.5f, 0.5f};
+  EXPECT_NEAR(EarthMoversDistance(m, mhat, 2), 0.5, 1e-9);
+}
+
+TEST(DivergenceTest, MetricNamesAndDispatch) {
+  const float m[] = {0.6f, 0.4f};
+  const float mhat[] = {0.4f, 0.6f};
+  EXPECT_STREQ(MetricName(Metric::kKl), "KL");
+  EXPECT_STREQ(MetricName(Metric::kJs), "JS");
+  EXPECT_STREQ(MetricName(Metric::kEmd), "EMD");
+  EXPECT_DOUBLE_EQ(HistogramDissimilarity(Metric::kEmd, m, mhat, 2),
+                   EarthMoversDistance(m, mhat, 2));
+  EXPECT_DOUBLE_EQ(HistogramDissimilarity(Metric::kKl, m, mhat, 2),
+                   KlDivergence(m, mhat, 2));
+}
+
+TEST(DivergenceTest, WorseForecastScoresHigher) {
+  const float truth[] = {0.7f, 0.2f, 0.1f};
+  const float close[] = {0.6f, 0.3f, 0.1f};
+  const float far[] = {0.1f, 0.2f, 0.7f};
+  for (Metric metric : {Metric::kKl, Metric::kJs, Metric::kEmd}) {
+    EXPECT_LT(HistogramDissimilarity(metric, truth, close, 3),
+              HistogramDissimilarity(metric, truth, far, 3));
+  }
+}
+
+TEST(MetricAccumulatorTest, MaskedAccumulation) {
+  OdTensor truth(2, 2, 2);
+  truth.SetHistogram(0, 0, {1.0f, 0.0f});
+  truth.SetHistogram(1, 1, {0.0f, 1.0f});
+
+  Tensor forecast(Shape({2, 2, 2}));
+  // Perfect on (0,0), one-bucket-off on (1,1), garbage elsewhere (ignored).
+  forecast.At3(0, 0, 0) = 1.0f;
+  forecast.At3(1, 1, 0) = 1.0f;
+  forecast.At3(0, 1, 0) = 123.0f;
+
+  MetricAccumulator acc;
+  AccumulateForecast(forecast, truth, acc);
+  EXPECT_EQ(acc.count(), 2);
+  EXPECT_NEAR(acc.Mean(Metric::kEmd), 0.5, 1e-9);  // (0 + 1) / 2
+}
+
+TEST(MetricAccumulatorTest, MergeCombines) {
+  MetricAccumulator a;
+  MetricAccumulator b;
+  const float t[] = {1.0f, 0.0f};
+  const float f[] = {0.0f, 1.0f};
+  a.AddPair(t, t, 2);
+  b.AddPair(t, f, 2);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_NEAR(a.Mean(Metric::kEmd), 0.5, 1e-9);
+}
+
+TEST(MetricAccumulatorTest, EmptyMeanIsZero) {
+  MetricAccumulator acc;
+  EXPECT_EQ(acc.count(), 0);
+  EXPECT_DOUBLE_EQ(acc.Mean(Metric::kKl), 0.0);
+}
+
+TEST(GroupedEvaluationTest, RoutesPairsToGroups) {
+  OdTensor truth(2, 2, 2);
+  truth.SetHistogram(0, 0, {1.0f, 0.0f});
+  truth.SetHistogram(0, 1, {1.0f, 0.0f});
+  truth.SetHistogram(1, 0, {1.0f, 0.0f});
+
+  Tensor forecast(Shape({2, 2, 2}));
+  for (int64_t o = 0; o < 2; ++o) {
+    for (int64_t d = 0; d < 2; ++d) forecast.At3(o, d, 1) = 1.0f;
+  }
+
+  std::vector<MetricAccumulator> groups(2);
+  // Group 0: diagonal pairs; group 1: off-diagonal; skip (1,0) via -1.
+  AccumulateForecastGrouped(
+      forecast, truth,
+      [](int64_t o, int64_t d) {
+        if (o == 1 && d == 0) return -1;
+        return o == d ? 0 : 1;
+      },
+      groups);
+  EXPECT_EQ(groups[0].count(), 1);
+  EXPECT_EQ(groups[1].count(), 1);
+}
+
+}  // namespace
+}  // namespace odf
