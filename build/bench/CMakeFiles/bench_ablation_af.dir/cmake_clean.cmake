@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_af.dir/bench_ablation_af.cc.o"
+  "CMakeFiles/bench_ablation_af.dir/bench_ablation_af.cc.o.d"
+  "bench_ablation_af"
+  "bench_ablation_af.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_af.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

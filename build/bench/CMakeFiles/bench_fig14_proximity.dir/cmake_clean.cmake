@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_proximity.dir/bench_fig14_proximity.cc.o"
+  "CMakeFiles/bench_fig14_proximity.dir/bench_fig14_proximity.cc.o.d"
+  "bench_fig14_proximity"
+  "bench_fig14_proximity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_proximity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_sparseness.dir/bench_fig7_sparseness.cc.o"
+  "CMakeFiles/bench_fig7_sparseness.dir/bench_fig7_sparseness.cc.o.d"
+  "bench_fig7_sparseness"
+  "bench_fig7_sparseness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_sparseness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

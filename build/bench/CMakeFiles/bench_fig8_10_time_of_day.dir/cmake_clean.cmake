@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_10_time_of_day.dir/bench_fig8_10_time_of_day.cc.o"
+  "CMakeFiles/bench_fig8_10_time_of_day.dir/bench_fig8_10_time_of_day.cc.o.d"
+  "bench_fig8_10_time_of_day"
+  "bench_fig8_10_time_of_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_10_time_of_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

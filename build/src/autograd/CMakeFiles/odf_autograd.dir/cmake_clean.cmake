@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odf_autograd.dir/ops.cc.o"
+  "CMakeFiles/odf_autograd.dir/ops.cc.o.d"
+  "CMakeFiles/odf_autograd.dir/var.cc.o"
+  "CMakeFiles/odf_autograd.dir/var.cc.o.d"
+  "libodf_autograd.a"
+  "libodf_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odf_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odf_baselines.dir/fc_gru.cc.o"
+  "CMakeFiles/odf_baselines.dir/fc_gru.cc.o.d"
+  "CMakeFiles/odf_baselines.dir/gp.cc.o"
+  "CMakeFiles/odf_baselines.dir/gp.cc.o.d"
+  "CMakeFiles/odf_baselines.dir/multitask.cc.o"
+  "CMakeFiles/odf_baselines.dir/multitask.cc.o.d"
+  "CMakeFiles/odf_baselines.dir/naive_histogram.cc.o"
+  "CMakeFiles/odf_baselines.dir/naive_histogram.cc.o.d"
+  "CMakeFiles/odf_baselines.dir/var.cc.o"
+  "CMakeFiles/odf_baselines.dir/var.cc.o.d"
+  "libodf_baselines.a"
+  "libodf_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odf_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

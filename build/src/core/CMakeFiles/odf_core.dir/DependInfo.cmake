@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/advanced_framework.cc" "src/core/CMakeFiles/odf_core.dir/advanced_framework.cc.o" "gcc" "src/core/CMakeFiles/odf_core.dir/advanced_framework.cc.o.d"
+  "/root/repo/src/core/basic_framework.cc" "src/core/CMakeFiles/odf_core.dir/basic_framework.cc.o" "gcc" "src/core/CMakeFiles/odf_core.dir/basic_framework.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/core/CMakeFiles/odf_core.dir/experiment.cc.o" "gcc" "src/core/CMakeFiles/odf_core.dir/experiment.cc.o.d"
+  "/root/repo/src/core/forecast_export.cc" "src/core/CMakeFiles/odf_core.dir/forecast_export.cc.o" "gcc" "src/core/CMakeFiles/odf_core.dir/forecast_export.cc.o.d"
+  "/root/repo/src/core/outlier_guard.cc" "src/core/CMakeFiles/odf_core.dir/outlier_guard.cc.o" "gcc" "src/core/CMakeFiles/odf_core.dir/outlier_guard.cc.o.d"
+  "/root/repo/src/core/recovery.cc" "src/core/CMakeFiles/odf_core.dir/recovery.cc.o" "gcc" "src/core/CMakeFiles/odf_core.dir/recovery.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "src/core/CMakeFiles/odf_core.dir/trainer.cc.o" "gcc" "src/core/CMakeFiles/odf_core.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/odf_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/odf_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/od/CMakeFiles/odf_od.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/odf_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/odf_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/odf_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/odf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

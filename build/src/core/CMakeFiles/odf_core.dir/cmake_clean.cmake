@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odf_core.dir/advanced_framework.cc.o"
+  "CMakeFiles/odf_core.dir/advanced_framework.cc.o.d"
+  "CMakeFiles/odf_core.dir/basic_framework.cc.o"
+  "CMakeFiles/odf_core.dir/basic_framework.cc.o.d"
+  "CMakeFiles/odf_core.dir/experiment.cc.o"
+  "CMakeFiles/odf_core.dir/experiment.cc.o.d"
+  "CMakeFiles/odf_core.dir/forecast_export.cc.o"
+  "CMakeFiles/odf_core.dir/forecast_export.cc.o.d"
+  "CMakeFiles/odf_core.dir/outlier_guard.cc.o"
+  "CMakeFiles/odf_core.dir/outlier_guard.cc.o.d"
+  "CMakeFiles/odf_core.dir/recovery.cc.o"
+  "CMakeFiles/odf_core.dir/recovery.cc.o.d"
+  "CMakeFiles/odf_core.dir/trainer.cc.o"
+  "CMakeFiles/odf_core.dir/trainer.cc.o.d"
+  "libodf_core.a"
+  "libodf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

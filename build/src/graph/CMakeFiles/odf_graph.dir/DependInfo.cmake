@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/coarsen.cc" "src/graph/CMakeFiles/odf_graph.dir/coarsen.cc.o" "gcc" "src/graph/CMakeFiles/odf_graph.dir/coarsen.cc.o.d"
+  "/root/repo/src/graph/laplacian.cc" "src/graph/CMakeFiles/odf_graph.dir/laplacian.cc.o" "gcc" "src/graph/CMakeFiles/odf_graph.dir/laplacian.cc.o.d"
+  "/root/repo/src/graph/region_graph.cc" "src/graph/CMakeFiles/odf_graph.dir/region_graph.cc.o" "gcc" "src/graph/CMakeFiles/odf_graph.dir/region_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/odf_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/odf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

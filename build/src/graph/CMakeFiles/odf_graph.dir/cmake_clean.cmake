@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odf_graph.dir/coarsen.cc.o"
+  "CMakeFiles/odf_graph.dir/coarsen.cc.o.d"
+  "CMakeFiles/odf_graph.dir/laplacian.cc.o"
+  "CMakeFiles/odf_graph.dir/laplacian.cc.o.d"
+  "CMakeFiles/odf_graph.dir/region_graph.cc.o"
+  "CMakeFiles/odf_graph.dir/region_graph.cc.o.d"
+  "libodf_graph.a"
+  "libodf_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odf_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odf_metrics.dir/divergence.cc.o"
+  "CMakeFiles/odf_metrics.dir/divergence.cc.o.d"
+  "CMakeFiles/odf_metrics.dir/evaluation.cc.o"
+  "CMakeFiles/odf_metrics.dir/evaluation.cc.o.d"
+  "libodf_metrics.a"
+  "libodf_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odf_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/attention.cc" "src/nn/CMakeFiles/odf_nn.dir/attention.cc.o" "gcc" "src/nn/CMakeFiles/odf_nn.dir/attention.cc.o.d"
+  "/root/repo/src/nn/cheb_conv.cc" "src/nn/CMakeFiles/odf_nn.dir/cheb_conv.cc.o" "gcc" "src/nn/CMakeFiles/odf_nn.dir/cheb_conv.cc.o.d"
+  "/root/repo/src/nn/gcgru.cc" "src/nn/CMakeFiles/odf_nn.dir/gcgru.cc.o" "gcc" "src/nn/CMakeFiles/odf_nn.dir/gcgru.cc.o.d"
+  "/root/repo/src/nn/graph_pool.cc" "src/nn/CMakeFiles/odf_nn.dir/graph_pool.cc.o" "gcc" "src/nn/CMakeFiles/odf_nn.dir/graph_pool.cc.o.d"
+  "/root/repo/src/nn/gru.cc" "src/nn/CMakeFiles/odf_nn.dir/gru.cc.o" "gcc" "src/nn/CMakeFiles/odf_nn.dir/gru.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/nn/CMakeFiles/odf_nn.dir/linear.cc.o" "gcc" "src/nn/CMakeFiles/odf_nn.dir/linear.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/odf_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/odf_nn.dir/optimizer.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/nn/CMakeFiles/odf_nn.dir/serialize.cc.o" "gcc" "src/nn/CMakeFiles/odf_nn.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/autograd/CMakeFiles/odf_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/odf_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/odf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

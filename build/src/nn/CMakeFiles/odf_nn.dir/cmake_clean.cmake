@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odf_nn.dir/attention.cc.o"
+  "CMakeFiles/odf_nn.dir/attention.cc.o.d"
+  "CMakeFiles/odf_nn.dir/cheb_conv.cc.o"
+  "CMakeFiles/odf_nn.dir/cheb_conv.cc.o.d"
+  "CMakeFiles/odf_nn.dir/gcgru.cc.o"
+  "CMakeFiles/odf_nn.dir/gcgru.cc.o.d"
+  "CMakeFiles/odf_nn.dir/graph_pool.cc.o"
+  "CMakeFiles/odf_nn.dir/graph_pool.cc.o.d"
+  "CMakeFiles/odf_nn.dir/gru.cc.o"
+  "CMakeFiles/odf_nn.dir/gru.cc.o.d"
+  "CMakeFiles/odf_nn.dir/linear.cc.o"
+  "CMakeFiles/odf_nn.dir/linear.cc.o.d"
+  "CMakeFiles/odf_nn.dir/optimizer.cc.o"
+  "CMakeFiles/odf_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/odf_nn.dir/serialize.cc.o"
+  "CMakeFiles/odf_nn.dir/serialize.cc.o.d"
+  "libodf_nn.a"
+  "libodf_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odf_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

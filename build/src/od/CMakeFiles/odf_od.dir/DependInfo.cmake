@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/od/dataset.cc" "src/od/CMakeFiles/odf_od.dir/dataset.cc.o" "gcc" "src/od/CMakeFiles/odf_od.dir/dataset.cc.o.d"
+  "/root/repo/src/od/od_tensor.cc" "src/od/CMakeFiles/odf_od.dir/od_tensor.cc.o" "gcc" "src/od/CMakeFiles/odf_od.dir/od_tensor.cc.o.d"
+  "/root/repo/src/od/travel_time.cc" "src/od/CMakeFiles/odf_od.dir/travel_time.cc.o" "gcc" "src/od/CMakeFiles/odf_od.dir/travel_time.cc.o.d"
+  "/root/repo/src/od/trip_io.cc" "src/od/CMakeFiles/odf_od.dir/trip_io.cc.o" "gcc" "src/od/CMakeFiles/odf_od.dir/trip_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/odf_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/odf_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/odf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

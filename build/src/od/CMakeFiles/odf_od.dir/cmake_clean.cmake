@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odf_od.dir/dataset.cc.o"
+  "CMakeFiles/odf_od.dir/dataset.cc.o.d"
+  "CMakeFiles/odf_od.dir/od_tensor.cc.o"
+  "CMakeFiles/odf_od.dir/od_tensor.cc.o.d"
+  "CMakeFiles/odf_od.dir/travel_time.cc.o"
+  "CMakeFiles/odf_od.dir/travel_time.cc.o.d"
+  "CMakeFiles/odf_od.dir/trip_io.cc.o"
+  "CMakeFiles/odf_od.dir/trip_io.cc.o.d"
+  "libodf_od.a"
+  "libodf_od.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odf_od.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

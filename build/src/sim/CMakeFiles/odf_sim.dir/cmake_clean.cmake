@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odf_sim.dir/trip_generator.cc.o"
+  "CMakeFiles/odf_sim.dir/trip_generator.cc.o.d"
+  "libodf_sim.a"
+  "libodf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odf_tensor.dir/linalg.cc.o"
+  "CMakeFiles/odf_tensor.dir/linalg.cc.o.d"
+  "CMakeFiles/odf_tensor.dir/tensor.cc.o"
+  "CMakeFiles/odf_tensor.dir/tensor.cc.o.d"
+  "CMakeFiles/odf_tensor.dir/tensor_ops.cc.o"
+  "CMakeFiles/odf_tensor.dir/tensor_ops.cc.o.d"
+  "libodf_tensor.a"
+  "libodf_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odf_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

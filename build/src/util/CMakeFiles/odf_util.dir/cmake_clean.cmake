@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odf_util.dir/binary_io.cc.o"
+  "CMakeFiles/odf_util.dir/binary_io.cc.o.d"
+  "CMakeFiles/odf_util.dir/env_config.cc.o"
+  "CMakeFiles/odf_util.dir/env_config.cc.o.d"
+  "CMakeFiles/odf_util.dir/logging.cc.o"
+  "CMakeFiles/odf_util.dir/logging.cc.o.d"
+  "CMakeFiles/odf_util.dir/table.cc.o"
+  "CMakeFiles/odf_util.dir/table.cc.o.d"
+  "libodf_util.a"
+  "libodf_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odf_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

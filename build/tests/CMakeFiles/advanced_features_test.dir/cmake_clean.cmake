@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advanced_features_test.dir/advanced_features_test.cc.o"
+  "CMakeFiles/advanced_features_test.dir/advanced_features_test.cc.o.d"
+  "advanced_features_test"
+  "advanced_features_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advanced_features_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/od_test.dir/od_test.cc.o"
+  "CMakeFiles/od_test.dir/od_test.cc.o.d"
+  "od_test"
+  "od_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/od_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

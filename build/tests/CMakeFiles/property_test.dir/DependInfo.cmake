@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/property_test.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/property_test.dir/property_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/odf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/odf_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/odf_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/od/CMakeFiles/odf_od.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/odf_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/odf_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/odf_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/odf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
