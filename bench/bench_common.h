@@ -10,6 +10,11 @@
 //   ODF_DAYS=<n>                   override simulated days
 //   ODF_BENCH_CSV=1                also write CSV files under bench_out/
 //   ODF_SEED=<n>                   experiment seed
+//   ODF_THREADS=<n>                size of the global compute thread pool
+//                                  (default: hardware concurrency; 1 = fully
+//                                  serial). Results are identical for every
+//                                  value — see README "Performance &
+//                                  threading".
 
 #include <cstdio>
 #include <memory>

@@ -1,8 +1,23 @@
-// Micro-benchmarks of the neural substrate (google-benchmark): the tensor
-// kernels, graph convolution, recurrent cells and a full AF training step.
-// These quantify the cost structure behind the experiment harnesses.
+// Micro-benchmarks of the neural substrate.
+//
+// Default mode: a machine-readable sweep of the parallel compute substrate
+// (blocked GEMM, batched GEMM, elementwise kernels, softmax, ChebConv) over
+// thread counts, written to BENCH_substrate.json (override the path with
+// ODF_BENCH_JSON). This tracks the perf trajectory of the substrate across
+// PRs: per-kernel best wall time, GFLOP/s, parallel speedup, and the
+// blocked-vs-naive GEMM ratio.
+//
+// ODF_GBENCH=1 instead runs the original google-benchmark suite over the
+// tensor kernels, graph convolution, recurrent cells and a full AF training
+// step.
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "autograd/ops.h"
 #include "core/advanced_framework.h"
@@ -15,11 +30,246 @@
 #include "nn/optimizer.h"
 #include "sim/trip_generator.h"
 #include "tensor/tensor_ops.h"
+#include "util/env_config.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace odf {
 namespace {
 
 namespace ag = odf::autograd;
+
+// ---------------------------------------------------------------------------
+// Substrate sweep
+// ---------------------------------------------------------------------------
+
+struct SweepResult {
+  std::string kernel;
+  std::string shape;
+  int threads = 1;
+  double best_seconds = 0;
+  double gflops = 0;  // 0 when a flop count is meaningless for the kernel
+};
+
+// Times `fn` (excluding setup): one warmup call, then repetitions until
+// ~0.3 s of accumulated runtime (at least 3), keeping the fastest.
+template <typename Fn>
+double BestSeconds(const Fn& fn) {
+  fn();  // warmup
+  double best = 1e30;
+  double total = 0;
+  int reps = 0;
+  while (reps < 3 || total < 0.3) {
+    Stopwatch watch;
+    fn();
+    const double s = watch.ElapsedSeconds();
+    best = std::min(best, s);
+    total += s;
+    ++reps;
+    if (reps >= 50) break;
+  }
+  return best;
+}
+
+// The seed's single-threaded i-k-j triple loop, kept as the reference the
+// blocked GEMM is measured against.
+Tensor NaiveMatMulReference(const Tensor& a, const Tensor& b) {
+  const int64_t m = a.dim(0);
+  const int64_t k = a.dim(1);
+  const int64_t n = b.dim(1);
+  Tensor out(Shape({m, n}));
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < m; ++i) {
+    float* orow = po + i * n;
+    const float* arow = pa + i * k;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor SweepLaplacian(int rows, int cols) {
+  RegionGraph g = RegionGraph::Grid(rows, cols, 1.0);
+  return ScaledLaplacian(Laplacian(g.ProximityMatrix({1.0, 1.5})));
+}
+
+const char* SimdName() {
+#if defined(__AVX512F__)
+  return "avx512";
+#elif defined(__AVX2__)
+  return "avx2";
+#elif defined(__AVX__)
+  return "avx";
+#else
+  return "sse2";
+#endif
+}
+
+std::vector<int> SweepThreadCounts() {
+  const int hw = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<int> counts = {1, 2, 4};
+  if (std::find(counts.begin(), counts.end(), hw) == counts.end()) {
+    counts.push_back(hw);
+  }
+  std::sort(counts.begin(), counts.end());
+  return counts;
+}
+
+int RunSubstrateSweep() {
+  const std::vector<int> thread_counts = SweepThreadCounts();
+  const int64_t restore_threads = ThreadPool::Global().threads();
+  std::vector<SweepResult> results;
+  Rng rng(42);
+
+  auto record = [&](const std::string& kernel, const std::string& shape,
+                    int threads, double seconds, double flops) {
+    results.push_back(
+        {kernel, shape, threads, seconds, flops > 0 ? flops / seconds / 1e9 : 0});
+    std::fprintf(stderr, "%-14s %-16s t=%-2d  %8.3f ms  %7.2f GF/s\n",
+                 kernel.c_str(), shape.c_str(), threads, seconds * 1e3,
+                 flops > 0 ? flops / seconds / 1e9 : 0.0);
+  };
+
+  // -- GEMM sizes, naive reference first (single-threaded by construction).
+  const std::vector<int64_t> gemm_sizes = {128, 256, 512};
+  for (int64_t n : gemm_sizes) {
+    Tensor a = Tensor::RandomNormal(Shape({n, n}), rng);
+    Tensor b = Tensor::RandomNormal(Shape({n, n}), rng);
+    const double flops = 2.0 * static_cast<double>(n) * n * n;
+    const std::string shape = std::to_string(n) + "x" + std::to_string(n) +
+                              "x" + std::to_string(n);
+    record("gemm_naive", shape, 1,
+           BestSeconds([&] {
+             benchmark::DoNotOptimize(NaiveMatMulReference(a, b));
+           }),
+           flops);
+    for (int t : thread_counts) {
+      ThreadPool::Global().Resize(t);
+      record("gemm", shape, t,
+             BestSeconds([&] { benchmark::DoNotOptimize(MatMul(a, b)); }),
+             flops);
+    }
+  }
+
+  // -- Batched GEMM: many mid-sized matrices.
+  {
+    const int64_t batch = 32;
+    const int64_t n = 64;
+    Tensor a = Tensor::RandomNormal(Shape({batch, n, n}), rng);
+    Tensor b = Tensor::RandomNormal(Shape({batch, n, n}), rng);
+    const double flops = 2.0 * static_cast<double>(batch) * n * n * n;
+    for (int t : thread_counts) {
+      ThreadPool::Global().Resize(t);
+      record("batch_matmul", "32x(64x64x64)", t,
+             BestSeconds([&] { benchmark::DoNotOptimize(BatchMatMul(a, b)); }),
+             flops);
+    }
+  }
+
+  // -- Elementwise binary + unary on a large flat tensor.
+  {
+    const int64_t n = 1 << 22;
+    Tensor a = Tensor::RandomNormal(Shape({n}), rng);
+    Tensor b = Tensor::RandomNormal(Shape({n}), rng);
+    for (int t : thread_counts) {
+      ThreadPool::Global().Resize(t);
+      record("add", "4M", t,
+             BestSeconds([&] { benchmark::DoNotOptimize(Add(a, b)); }),
+             static_cast<double>(n));
+      record("exp", "4M", t,
+             BestSeconds([&] { benchmark::DoNotOptimize(Exp(a)); }),
+             static_cast<double>(n));
+    }
+  }
+
+  // -- Softmax over the recovery layout [B, N, N', K].
+  {
+    Tensor a = Tensor::RandomNormal(Shape({64, 16, 16, 7}), rng);
+    for (int t : thread_counts) {
+      ThreadPool::Global().Resize(t);
+      record("softmax", "64x16x16x7", t,
+             BestSeconds([&] { benchmark::DoNotOptimize(SoftmaxLastDim(a)); }),
+             0);
+    }
+  }
+
+  // -- ChebConv forward: the AF hot path (graph conv over batched windows).
+  {
+    nn::ChebConv conv(SweepLaplacian(8, 8), 7, 16, 3, rng);
+    Tensor x = Tensor::RandomNormal(Shape({64, 64, 7}), rng);
+    for (int t : thread_counts) {
+      ThreadPool::Global().Resize(t);
+      record("chebconv_fwd", "b64_n64_f7->16", t, BestSeconds([&] {
+               benchmark::DoNotOptimize(
+                   conv.Forward(ag::Var::Constant(x)).value());
+             }),
+             0);
+    }
+  }
+
+  ThreadPool::Global().Resize(static_cast<int>(restore_threads));
+
+  // -- Derived acceptance numbers.
+  auto find = [&](const std::string& kernel, const std::string& shape,
+                  int threads) -> const SweepResult* {
+    for (const auto& r : results) {
+      if (r.kernel == kernel && r.shape == shape && r.threads == threads) {
+        return &r;
+      }
+    }
+    return nullptr;
+  };
+  const SweepResult* g1 = find("gemm", "512x512x512", 1);
+  const SweepResult* g4 = find("gemm", "512x512x512", 4);
+  const SweepResult* gn = find("gemm_naive", "512x512x512", 1);
+  const double speedup_4t = g1 && g4 ? g1->best_seconds / g4->best_seconds : 0;
+  const double blocked_vs_naive =
+      g1 && gn ? gn->best_seconds / g1->best_seconds : 0;
+
+  const std::string path =
+      GetEnvString("ODF_BENCH_JSON", "BENCH_substrate.json");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"substrate\",\n");
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"simd\": \"%s\",\n", SimdName());
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::fprintf(f,
+                 "    {\"kernel\": \"%s\", \"shape\": \"%s\", \"threads\": "
+                 "%d, \"best_seconds\": %.6f, \"gflops\": %.3f}%s\n",
+                 r.kernel.c_str(), r.shape.c_str(), r.threads, r.best_seconds,
+                 r.gflops, i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"derived\": {\n");
+  std::fprintf(f, "    \"gemm512_speedup_4t_vs_1t\": %.3f,\n", speedup_4t);
+  std::fprintf(f, "    \"gemm512_blocked_1t_vs_naive\": %.3f\n",
+               blocked_vs_naive);
+  std::fprintf(f, "  }\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::fprintf(stderr,
+               "wrote %s (gemm512: %.2fx @4t vs 1t, blocked 1t %.2fx naive)\n",
+               path.c_str(), speedup_4t, blocked_vs_naive);
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// google-benchmark suite (ODF_GBENCH=1)
+// ---------------------------------------------------------------------------
 
 void BM_MatMul(benchmark::State& state) {
   const int64_t n = state.range(0);
@@ -31,7 +281,7 @@ void BM_MatMul(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
-BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128)->Arg(512);
 
 void BM_BatchMatMul(benchmark::State& state) {
   Rng rng(2);
@@ -52,14 +302,9 @@ void BM_SoftmaxLastDim(benchmark::State& state) {
 }
 BENCHMARK(BM_SoftmaxLastDim);
 
-Tensor BenchLaplacian(int rows, int cols) {
-  RegionGraph g = RegionGraph::Grid(rows, cols, 1.0);
-  return ScaledLaplacian(Laplacian(g.ProximityMatrix({1.0, 1.5})));
-}
-
 void BM_ChebConvForward(benchmark::State& state) {
   Rng rng(4);
-  nn::ChebConv conv(BenchLaplacian(4, 4), 7, 8, 3, rng);
+  nn::ChebConv conv(SweepLaplacian(4, 4), 7, 8, 3, rng);
   Tensor x = Tensor::RandomNormal(Shape({64, 16, 7}), rng);
   for (auto _ : state) {
     benchmark::DoNotOptimize(conv.Forward(ag::Var::Constant(x)).value());
@@ -80,7 +325,7 @@ BENCHMARK(BM_GruStep);
 
 void BM_GcGruStep(benchmark::State& state) {
   Rng rng(6);
-  nn::GcGruCell cell(BenchLaplacian(4, 4), 28, 16, 3, rng);
+  nn::GcGruCell cell(SweepLaplacian(4, 4), 28, 16, 3, rng);
   ag::Var x =
       ag::Var::Constant(Tensor::RandomNormal(Shape({8, 16, 28}), rng));
   ag::Var h = cell.InitialState(8);
@@ -146,4 +391,13 @@ BENCHMARK(BM_TripGeneration);
 }  // namespace
 }  // namespace odf
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (odf::GetEnvBool("ODF_GBENCH", false)) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+  }
+  return odf::RunSubstrateSweep();
+}

@@ -1,33 +1,52 @@
 #include "core/trainer.h"
 
 #include <limits>
+#include <span>
+#include <vector>
 
 #include "nn/optimizer.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace odf {
 
 namespace {
 
+// Seed offset for the per-batch evaluation Rng streams (see EvaluateLoss).
+constexpr uint64_t kEvalRngSalt = 0xE7A1B2C3D4E5F607ull;
+
 /// Mean model loss over `samples` with dropout disabled.
+///
+/// Batches are evaluated in parallel: the forward pass is read-only with
+/// respect to the model (each call builds its own tape) and each batch gets
+/// its own Rng seeded from (`seed`, batch index), so the result is
+/// deterministic and identical for every thread count. Nothing here touches
+/// the training Rng stream — evaluation is dropout-free, and keeping the
+/// stream untouched keeps training itself byte-for-byte reproducible.
 float EvaluateLoss(NeuralForecaster& model, const ForecastDataset& dataset,
                    const std::vector<int64_t>& samples, int64_t batch_size,
-                   Rng& rng) {
+                   uint64_t seed) {
+  const int64_t num_batches =
+      (static_cast<int64_t>(samples.size()) + batch_size - 1) / batch_size;
+  if (num_batches == 0) return 0.0f;
+  std::vector<double> losses(static_cast<size_t>(num_batches), 0.0);
+  ThreadPool::Global().ParallelFor(
+      num_batches, 1, [&](int64_t b0, int64_t b1) {
+        for (int64_t b = b0; b < b1; ++b) {
+          const size_t start = static_cast<size_t>(b * batch_size);
+          const size_t len = std::min(static_cast<size_t>(batch_size),
+                                      samples.size() - start);
+          const Batch batch = dataset.MakeBatch(
+              std::span<const int64_t>(samples.data() + start, len));
+          Rng batch_rng(seed ^ (kEvalRngSalt + static_cast<uint64_t>(b)));
+          losses[static_cast<size_t>(b)] =
+              model.Loss(batch, /*train=*/false, batch_rng).value().Item();
+        }
+      });
   double total = 0;
-  int64_t batches = 0;
-  for (size_t start = 0; start < samples.size();
-       start += static_cast<size_t>(batch_size)) {
-    const size_t end =
-        std::min(samples.size(), start + static_cast<size_t>(batch_size));
-    const std::vector<int64_t> indices(
-        samples.begin() + static_cast<int64_t>(start),
-        samples.begin() + static_cast<int64_t>(end));
-    Batch batch = dataset.MakeBatch(indices);
-    total += model.Loss(batch, /*train=*/false, rng).value().Item();
-    ++batches;
-  }
-  return batches == 0 ? 0.0f : static_cast<float>(total / batches);
+  for (double loss : losses) total += loss;
+  return static_cast<float>(total / static_cast<double>(num_batches));
 }
 
 }  // namespace
@@ -68,8 +87,8 @@ TrainResult TrainForecaster(NeuralForecaster& model,
     }
     const float train_loss =
         batches == 0 ? 0.0f : static_cast<float>(epoch_loss / batches);
-    const float val_loss =
-        EvaluateLoss(model, dataset, val_samples, config.batch_size, rng);
+    const float val_loss = EvaluateLoss(model, dataset, val_samples,
+                                        config.batch_size, config.seed);
     result.train_losses.push_back(train_loss);
     result.validation_losses.push_back(val_loss);
     result.epochs_run = epoch + 1;

@@ -49,7 +49,7 @@ ForecastDataset::Split ForecastDataset::ChronologicalSplit(
 }
 
 Batch ForecastDataset::MakeBatch(
-    const std::vector<int64_t>& sample_indices) const {
+    std::span<const int64_t> sample_indices) const {
   ODF_CHECK(!sample_indices.empty());
   const OdTensor& proto = series_->at(0);
   const int64_t n = proto.num_origins();

@@ -1,6 +1,7 @@
 #ifndef ODF_OD_DATASET_H_
 #define ODF_OD_DATASET_H_
 
+#include <span>
 #include <vector>
 
 #include "od/od_tensor.h"
@@ -53,8 +54,17 @@ class ForecastDataset {
   Split ChronologicalSplit(double train_fraction,
                            double validation_fraction) const;
 
-  /// Materializes the windows `sample_indices` as stacked tensors.
-  Batch MakeBatch(const std::vector<int64_t>& sample_indices) const;
+  /// Materializes the windows `sample_indices` as stacked tensors. The span
+  /// overload lets callers batch a sub-range of an index list (e.g. the
+  /// evaluation loop) without copying it into a fresh vector.
+  Batch MakeBatch(std::span<const int64_t> sample_indices) const;
+  Batch MakeBatch(const std::vector<int64_t>& sample_indices) const {
+    return MakeBatch(std::span<const int64_t>(sample_indices));
+  }
+  Batch MakeBatch(std::initializer_list<int64_t> sample_indices) const {
+    return MakeBatch(
+        std::span<const int64_t>(sample_indices.begin(), sample_indices.end()));
+  }
 
   /// Splits `samples` into shuffled mini-batches of at most `batch_size`.
   std::vector<std::vector<int64_t>> ShuffledBatches(

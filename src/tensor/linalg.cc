@@ -97,12 +97,19 @@ float PowerIterationMaxEigenvalue(const Tensor& a, int iters) {
   }
   float eigen = 0.0f;
   for (int it = 0; it < iters; ++it) {
+    // One GEMV per iteration: w = A v serves both the Rayleigh quotient
+    // (v'w / v'v) and the next iterate.
     Tensor w = MatMul(a, v);
+    double vw = 0;
+    double vv = 0;
+    for (int64_t i = 0; i < n; ++i) {
+      vw += static_cast<double>(v.At2(i, 0)) * w.At2(i, 0);
+      vv += static_cast<double>(v.At2(i, 0)) * v.At2(i, 0);
+    }
+    eigen = static_cast<float>(vw / vv);
     const float norm = std::sqrt(SquaredNorm(w));
     if (norm < 1e-20f) return 0.0f;
     v = MulScalar(w, 1.0f / norm);
-    // Rayleigh quotient.
-    eigen = MatMul(Transpose2D(v), MatMul(a, v)).Item();
   }
   return eigen;
 }

@@ -2,9 +2,216 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
+
+#include "util/thread_pool.h"
 
 namespace odf {
 namespace {
+
+// -- Parallel substrate tuning --------------------------------------------
+//
+// Every kernel below keeps one invariant: the arithmetic performed for a
+// given output element (operation order included) depends only on the
+// problem shape, never on the thread count. ParallelFor partitions disjoint
+// output ranges, so ODF_THREADS=1 and ODF_THREADS=N produce bit-identical
+// tensors (asserted by substrate_test).
+
+// Minimum elements per chunk for elementwise/layout kernels; below
+// `kElemGrain` total the dispatch overhead outweighs the loop.
+constexpr int64_t kElemGrain = 1 << 14;
+
+// GEMM cache blocking: kMC x kKC panels of A are packed into thread-local
+// buffers (64 KiB, L2-resident) and multiplied into C through a kMR x kNR
+// register-tiled micro-kernel; B is packed once per call into j-tile-major
+// panels so the micro-kernel streams both operands with unit stride (the
+// unpacked column access pattern, stride = row length, thrashes L1 set
+// associativity for power-of-two widths). The register tile is sized to the
+// widest vector unit the translation unit is compiled for.
+constexpr int64_t kMC = 64;
+constexpr int64_t kKC = 256;
+#if defined(__AVX512F__)
+constexpr int64_t kMR = 8;
+constexpr int64_t kNR = 32;  // 16 zmm accumulators
+#elif defined(__AVX2__)
+constexpr int64_t kMR = 6;
+constexpr int64_t kNR = 16;  // 12 ymm accumulators
+#else
+constexpr int64_t kMR = 4;
+constexpr int64_t kNR = 8;  // 8 xmm accumulators fit the SSE register file
+#endif
+static_assert(kMC % kMR == 0, "row block must hold whole strips");
+
+// Problems with fewer multiply-adds than this run the plain triple loop
+// (packing would dominate); bigger ones use the blocked kernel, and the
+// row-block loop goes parallel once a chunk is worth at least this much.
+constexpr int64_t kGemmNaiveFlops = 1 << 12;
+
+// The seed's i-k-j triple loop; kept as the small-problem path (and as the
+// reference the blocked kernel is tested against). Accumulates over k in
+// ascending order, exactly like the micro-kernel.
+void GemmNaive(const float* pa, const float* pb, float* po, int64_t m,
+               int64_t k, int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    float* orow = po + i * n;
+    const float* arow = pa + i * k;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+// Packs rows [i0, i0+rows) x columns [k0, k0+depth) of `a` (leading
+// dimension `lda`) into `buf` as ceil(rows/kMR) interleaved strips:
+// buf[strip][kk * kMR + r] = a[i0 + strip*kMR + r][k0 + kk], zero-padded in
+// r, so the micro-kernel loads kMR contiguous floats per k step.
+void PackA(const float* a, int64_t lda, int64_t i0, int64_t rows, int64_t k0,
+           int64_t depth, float* buf) {
+  const int64_t strips = (rows + kMR - 1) / kMR;
+  for (int64_t s = 0; s < strips; ++s) {
+    float* dst = buf + s * depth * kMR;
+    const int64_t r_limit = std::min<int64_t>(kMR, rows - s * kMR);
+    for (int64_t kk = 0; kk < depth; ++kk) {
+      for (int64_t r = 0; r < kMR; ++r) {
+        dst[kk * kMR + r] =
+            r < r_limit ? a[(i0 + s * kMR + r) * lda + k0 + kk] : 0.0f;
+      }
+    }
+  }
+}
+
+// Number of j-tiles of width kNR covering n columns.
+int64_t NumJTiles(int64_t n) { return (n + kNR - 1) / kNR; }
+
+// Packs columns [jt*kNR, ...) of `b` (k x n) into tile `jt` of `buf`:
+// buf[jt*k*kNR + kk*kNR + jr] = b[kk][jt*kNR + jr], zero-padded in jr. The
+// micro-kernel then streams B with unit stride regardless of n.
+void PackBTile(const float* b, int64_t k, int64_t n, int64_t jt, float* buf) {
+  const int64_t j0 = jt * kNR;
+  const int64_t nr = std::min<int64_t>(kNR, n - j0);
+  float* dst = buf + jt * k * kNR;
+  for (int64_t kk = 0; kk < k; ++kk) {
+    const float* src = b + kk * n + j0;
+    float* row = dst + kk * kNR;
+    for (int64_t j = 0; j < nr; ++j) row[j] = src[j];
+    for (int64_t j = nr; j < kNR; ++j) row[j] = 0.0f;
+  }
+}
+
+// C[kMR, kNR] += Apack_strip[depth, kMR] * Bpack_tile[depth, kNR]; the
+// full-tile case has compile-time bounds so the j loops vectorize and the
+// kMR*kNR accumulator block lives in vector registers.
+void MicroKernelFull(const float* ap, const float* bp, float* c, int64_t ldc,
+                     int64_t depth) {
+  float acc[kMR * kNR];
+  for (int64_t r = 0; r < kMR; ++r) {
+    for (int64_t j = 0; j < kNR; ++j) acc[r * kNR + j] = c[r * ldc + j];
+  }
+  for (int64_t kk = 0; kk < depth; ++kk) {
+    const float* brow = bp + kk * kNR;
+    const float* astrip = ap + kk * kMR;
+    for (int64_t r = 0; r < kMR; ++r) {
+      const float av = astrip[r];
+      for (int64_t j = 0; j < kNR; ++j) acc[r * kNR + j] += av * brow[j];
+    }
+  }
+  for (int64_t r = 0; r < kMR; ++r) {
+    for (int64_t j = 0; j < kNR; ++j) c[r * ldc + j] = acc[r * kNR + j];
+  }
+}
+
+// Edge tiles (m % kMR / n % kNR remainders) with runtime bounds; B padding
+// makes reads past nr safe, but only [mr, nr) is stored back.
+void MicroKernelEdge(const float* ap, const float* bp, float* c, int64_t ldc,
+                     int64_t depth, int64_t mr, int64_t nr) {
+  float acc[kMR * kNR] = {};
+  for (int64_t r = 0; r < mr; ++r) {
+    for (int64_t j = 0; j < nr; ++j) acc[r * kNR + j] = c[r * ldc + j];
+  }
+  for (int64_t kk = 0; kk < depth; ++kk) {
+    const float* brow = bp + kk * kNR;
+    const float* astrip = ap + kk * kMR;
+    for (int64_t r = 0; r < mr; ++r) {
+      const float av = astrip[r];
+      for (int64_t j = 0; j < nr; ++j) acc[r * kNR + j] += av * brow[j];
+    }
+  }
+  for (int64_t r = 0; r < mr; ++r) {
+    for (int64_t j = 0; j < nr; ++j) c[r * ldc + j] = acc[r * kNR + j];
+  }
+}
+
+// Blocked GEMM over output rows [i0, i1) against packed B; `apack` is a
+// caller-provided kMC * kKC scratch buffer. Row-block boundaries are
+// absolute (multiples of kMC from row 0), so any partition of blocks across
+// threads computes each C element with the identical k-ascending
+// accumulation order.
+void GemmRows(const float* pa, const float* bpack, float* po, int64_t k,
+              int64_t n, int64_t i0, int64_t i1, float* apack) {
+  for (int64_t ib = i0; ib < i1; ib += kMC) {
+    const int64_t rows = std::min(kMC, i1 - ib);
+    for (int64_t k0 = 0; k0 < k; k0 += kKC) {
+      const int64_t depth = std::min(kKC, k - k0);
+      PackA(pa, k, ib, rows, k0, depth, apack);
+      const int64_t strips = (rows + kMR - 1) / kMR;
+      for (int64_t jt = 0; jt < NumJTiles(n); ++jt) {
+        const int64_t j0 = jt * kNR;
+        const int64_t nr = std::min<int64_t>(kNR, n - j0);
+        const float* bpanel = bpack + jt * k * kNR + k0 * kNR;
+        for (int64_t s = 0; s < strips; ++s) {
+          const float* ap = apack + s * depth * kMR;
+          float* c = po + (ib + s * kMR) * n + j0;
+          const int64_t mr = std::min(kMR, rows - s * kMR);
+          if (mr == kMR && nr == kNR) {
+            MicroKernelFull(ap, bpanel, c, n, depth);
+          } else {
+            MicroKernelEdge(ap, bpanel, c, n, depth, mr, nr);
+          }
+        }
+      }
+    }
+  }
+}
+
+// True when the blocked path would waste more on packing than it gains:
+// small problems and degenerate (vector-like) operands.
+bool UseNaiveGemm(int64_t m, int64_t k, int64_t n) {
+  return m * k * n <= kGemmNaiveFlops || m < kMR || n <= 8;
+}
+
+// Shared entry: C (zero-initialized, m x n) += A (m x k) * B (k x n),
+// choosing naive / blocked-serial / blocked-parallel by problem size.
+void Gemm(const float* pa, const float* pb, float* po, int64_t m, int64_t k,
+          int64_t n) {
+  if (UseNaiveGemm(m, k, n)) {
+    GemmNaive(pa, pb, po, m, k, n);
+    return;
+  }
+  std::vector<float> bpack(static_cast<size_t>(NumJTiles(n) * k * kNR));
+  const int64_t pack_grain =
+      std::max<int64_t>(1, kElemGrain / std::max<int64_t>(1, k * kNR));
+  ParallelFor(NumJTiles(n), pack_grain, [&](int64_t t0, int64_t t1) {
+    for (int64_t jt = t0; jt < t1; ++jt) PackBTile(pb, k, n, jt, bpack.data());
+  });
+  const int64_t num_blocks = (m + kMC - 1) / kMC;
+  const int64_t flops_per_block = std::min(kMC, m) * k * n;
+  const int64_t grain = std::max<int64_t>(
+      1, kGemmNaiveFlops / std::max<int64_t>(1, flops_per_block));
+  ParallelFor(num_blocks, grain, [&](int64_t b0, int64_t b1) {
+    std::vector<float> apack(static_cast<size_t>(kMC * kKC));
+    GemmRows(pa, bpack.data(), po, k, n, b0 * kMC, std::min(m, b1 * kMC),
+             apack.data());
+  });
+}
+
+// Runs an elementwise-style kernel over [0, n) flat indices.
+template <typename Body>
+void ParallelElems(int64_t n, const Body& body) {
+  ParallelFor(n, kElemGrain, body);
+}
 
 // Iterates over a broadcast binary op. `out[i] = fn(a[ai], b[bi])` where the
 // flat indices ai/bi are computed with broadcast-aware strides.
@@ -15,8 +222,9 @@ Tensor BroadcastBinary(const Tensor& a, const Tensor& b, Fn fn) {
     const float* pa = a.data();
     const float* pb = b.data();
     float* po = out.data();
-    const int64_t n = a.numel();
-    for (int64_t i = 0; i < n; ++i) po[i] = fn(pa[i], pb[i]);
+    ParallelElems(a.numel(), [&](int64_t begin, int64_t end) {
+      for (int64_t i = begin; i < end; ++i) po[i] = fn(pa[i], pb[i]);
+    });
     return out;
   }
   const Shape out_shape = BroadcastShape(a.shape(), b.shape());
@@ -38,24 +246,38 @@ Tensor BroadcastBinary(const Tensor& a, const Tensor& b, Fn fn) {
   const auto sa = broadcast_strides(a.shape());
   const auto sb = broadcast_strides(b.shape());
 
-  std::vector<int64_t> index(static_cast<size_t>(rank), 0);
-  const int64_t n = out.numel();
-  int64_t ai = 0;
-  int64_t bi = 0;
-  for (int64_t flat = 0; flat < n; ++flat) {
-    out[flat] = fn(a[ai], b[bi]);
-    // Odometer increment.
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  ParallelElems(out.numel(), [&](int64_t begin, int64_t end) {
+    // Seed the odometer (and the broadcast source offsets) from the chunk's
+    // first flat index, then walk incrementally.
+    std::vector<int64_t> index(static_cast<size_t>(rank), 0);
+    int64_t ai = 0;
+    int64_t bi = 0;
+    int64_t rem = begin;
     for (int64_t d = rank - 1; d >= 0; --d) {
       const size_t du = static_cast<size_t>(d);
-      ++index[du];
-      ai += sa[du];
-      bi += sb[du];
-      if (index[du] < out_shape.dim(d)) break;
-      ai -= sa[du] * out_shape.dim(d);
-      bi -= sb[du] * out_shape.dim(d);
-      index[du] = 0;
+      index[du] = rem % out_shape.dim(d);
+      rem /= out_shape.dim(d);
+      ai += index[du] * sa[du];
+      bi += index[du] * sb[du];
     }
-  }
+    for (int64_t flat = begin; flat < end; ++flat) {
+      po[flat] = fn(pa[ai], pb[bi]);
+      // Odometer increment.
+      for (int64_t d = rank - 1; d >= 0; --d) {
+        const size_t du = static_cast<size_t>(d);
+        ++index[du];
+        ai += sa[du];
+        bi += sb[du];
+        if (index[du] < out_shape.dim(d)) break;
+        ai -= sa[du] * out_shape.dim(d);
+        bi -= sb[du] * out_shape.dim(d);
+        index[du] = 0;
+      }
+    }
+  });
   return out;
 }
 
@@ -64,8 +286,9 @@ Tensor Unary(const Tensor& a, Fn fn) {
   Tensor out(a.shape());
   const float* pa = a.data();
   float* po = out.data();
-  const int64_t n = a.numel();
-  for (int64_t i = 0; i < n; ++i) po[i] = fn(pa[i]);
+  ParallelElems(a.numel(), [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) po[i] = fn(pa[i]);
+  });
   return out;
 }
 
@@ -175,20 +398,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   ODF_CHECK_EQ(k, b.dim(0)) << "matmul " << a.shape().ToString() << " x "
                             << b.shape().ToString();
   Tensor out(Shape({m, n}));
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
-  // i-k-j loop order: unit-stride inner loop, decent single-core throughput.
-  for (int64_t i = 0; i < m; ++i) {
-    float* orow = po + i * n;
-    const float* arow = pa + i * k;
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float av = arow[kk];
-      if (av == 0.0f) continue;
-      const float* brow = pb + kk * n;
-      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
-  }
+  Gemm(a.data(), b.data(), out.data(), m, k, n);
   return out;
 }
 
@@ -208,21 +418,64 @@ Tensor BatchMatMul(const Tensor& a, const Tensor& b) {
   Tensor out(Shape({batch, m, n}));
   const int64_t a_step = a.rank() == 3 ? m * k : 0;
   const int64_t b_step = b.rank() == 3 ? k * n : 0;
-  for (int64_t bi = 0; bi < batch; ++bi) {
-    const float* pa = a.data() + bi * a_step;
-    const float* pb = b.data() + bi * b_step;
-    float* po = out.data() + bi * m * n;
-    for (int64_t i = 0; i < m; ++i) {
-      float* orow = po + i * n;
-      const float* arow = pa + i * k;
-      for (int64_t kk = 0; kk < k; ++kk) {
-        const float av = arow[kk];
-        if (av == 0.0f) continue;
-        const float* brow = pb + kk * n;
-        for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-      }
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+
+  const int64_t per_batch_flops = m * k * n;
+  if (batch * per_batch_flops <= kGemmNaiveFlops) {
+    for (int64_t bi = 0; bi < batch; ++bi) {
+      GemmNaive(pa + bi * a_step, pb + bi * b_step, po + bi * m * n, m, k, n);
     }
+    return out;
   }
+  if (UseNaiveGemm(m, k, n)) {
+    // Many small matrices: parallelize over whole batch elements.
+    const int64_t grain = std::max<int64_t>(
+        1, kGemmNaiveFlops / std::max<int64_t>(1, per_batch_flops));
+    ParallelFor(batch, grain, [&](int64_t b0, int64_t b1) {
+      for (int64_t bi = b0; bi < b1; ++bi) {
+        GemmNaive(pa + bi * a_step, pb + bi * b_step, po + bi * m * n, m, k,
+                  n);
+      }
+    });
+    return out;
+  }
+  if (b_step == 0) {
+    // One shared right operand (broadcast): pack it once and parallelize
+    // over batch x row-block tasks.
+    std::vector<float> bpack(static_cast<size_t>(NumJTiles(n) * k * kNR));
+    const int64_t pack_grain =
+        std::max<int64_t>(1, kElemGrain / std::max<int64_t>(1, k * kNR));
+    ParallelFor(NumJTiles(n), pack_grain, [&](int64_t t0, int64_t t1) {
+      for (int64_t jt = t0; jt < t1; ++jt) {
+        PackBTile(pb, k, n, jt, bpack.data());
+      }
+    });
+    const int64_t num_blocks = (m + kMC - 1) / kMC;
+    const int64_t flops_per_task = std::min(kMC, m) * k * n;
+    const int64_t grain = std::max<int64_t>(
+        1, kGemmNaiveFlops / std::max<int64_t>(1, flops_per_task));
+    ParallelFor(batch * num_blocks, grain, [&](int64_t t0, int64_t t1) {
+      std::vector<float> apack(static_cast<size_t>(kMC * kKC));
+      for (int64_t t = t0; t < t1; ++t) {
+        const int64_t bi = t / num_blocks;
+        const int64_t blk = t % num_blocks;
+        const int64_t i0 = blk * kMC;
+        GemmRows(pa + bi * a_step, bpack.data(), po + bi * m * n, k, n, i0,
+                 std::min(m, i0 + kMC), apack.data());
+      }
+    });
+    return out;
+  }
+  // Large per-batch matrices, distinct B per batch: parallelize over the
+  // batch; each task runs the full blocked pipeline (its nested ParallelFor
+  // calls serialize inside pool workers).
+  ParallelFor(batch, 1, [&](int64_t b0, int64_t b1) {
+    for (int64_t bi = b0; bi < b1; ++bi) {
+      Gemm(pa + bi * a_step, pb + bi * b_step, po + bi * m * n, m, k, n);
+    }
+  });
   return out;
 }
 
@@ -231,9 +484,26 @@ Tensor Transpose2D(const Tensor& a) {
   const int64_t m = a.dim(0);
   const int64_t n = a.dim(1);
   Tensor out(Shape({n, m}));
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t j = 0; j < n; ++j) out.At2(j, i) = a.At2(i, j);
-  }
+  const float* pa = a.data();
+  float* po = out.data();
+  // Cache-blocked 32x32 tiles, parallel over source row-tiles (each writes
+  // a disjoint column band of the output).
+  constexpr int64_t kTile = 32;
+  const int64_t row_tiles = (m + kTile - 1) / kTile;
+  const int64_t grain =
+      std::max<int64_t>(1, kElemGrain / std::max<int64_t>(1, kTile * n));
+  ParallelFor(row_tiles, grain, [&](int64_t t0, int64_t t1) {
+    for (int64_t t = t0; t < t1; ++t) {
+      const int64_t i0 = t * kTile;
+      const int64_t i1 = std::min(m, i0 + kTile);
+      for (int64_t j0 = 0; j0 < n; j0 += kTile) {
+        const int64_t j1 = std::min(n, j0 + kTile);
+        for (int64_t i = i0; i < i1; ++i) {
+          for (int64_t j = j0; j < j1; ++j) po[j * m + i] = pa[i * n + j];
+        }
+      }
+    }
+  });
   return out;
 }
 
@@ -258,20 +528,70 @@ Tensor Permute(const Tensor& a, const std::vector<int64_t>& perm) {
     src_strides[i] = in_strides[static_cast<size_t>(perm[i])];
   }
   const int64_t rank = a.rank();
-  std::vector<int64_t> index(perm.size(), 0);
-  int64_t src = 0;
-  const int64_t n = a.numel();
-  for (int64_t flat = 0; flat < n; ++flat) {
-    out[flat] = a[src];
+  const float* pa = a.data();
+  float* po = out.data();
+
+  // Fast path: only the last two axes swap -> a batch of cache-blocked 2-D
+  // transposes over contiguous slices.
+  bool last2_swap = rank >= 2;
+  for (int64_t d = 0; d < rank - 2 && last2_swap; ++d) {
+    last2_swap = perm[static_cast<size_t>(d)] == d;
+  }
+  if (last2_swap) {
+    last2_swap = perm[static_cast<size_t>(rank - 2)] == rank - 1 &&
+                 perm[static_cast<size_t>(rank - 1)] == rank - 2;
+  }
+  if (last2_swap) {
+    const int64_t rows = a.dim(rank - 2);
+    const int64_t cols = a.dim(rank - 1);
+    const int64_t slice = rows * cols;
+    const int64_t slices = a.numel() / std::max<int64_t>(1, slice);
+    constexpr int64_t kTile = 32;
+    const int64_t grain =
+        std::max<int64_t>(1, kElemGrain / std::max<int64_t>(1, slice));
+    ParallelFor(slices, grain, [&](int64_t s0, int64_t s1) {
+      for (int64_t s = s0; s < s1; ++s) {
+        const float* src = pa + s * slice;
+        float* dst = po + s * slice;
+        for (int64_t i0 = 0; i0 < rows; i0 += kTile) {
+          const int64_t i1 = std::min(rows, i0 + kTile);
+          for (int64_t j0 = 0; j0 < cols; j0 += kTile) {
+            const int64_t j1 = std::min(cols, j0 + kTile);
+            for (int64_t i = i0; i < i1; ++i) {
+              for (int64_t j = j0; j < j1; ++j) {
+                dst[j * rows + i] = src[i * cols + j];
+              }
+            }
+          }
+        }
+      }
+    });
+    return out;
+  }
+
+  ParallelElems(a.numel(), [&](int64_t begin, int64_t end) {
+    // Seed the odometer and source offset from the first flat index.
+    std::vector<int64_t> index(perm.size(), 0);
+    int64_t src = 0;
+    int64_t rem = begin;
     for (int64_t d = rank - 1; d >= 0; --d) {
       const size_t du = static_cast<size_t>(d);
-      ++index[du];
-      src += src_strides[du];
-      if (index[du] < new_dims[du]) break;
-      src -= src_strides[du] * new_dims[du];
-      index[du] = 0;
+      index[du] = rem % new_dims[du];
+      rem /= new_dims[du];
+      src += index[du] * src_strides[du];
     }
-  }
+    for (int64_t flat = begin; flat < end; ++flat) {
+      po[flat] = pa[src];
+      for (int64_t d = rank - 1; d >= 0; --d) {
+        const size_t du = static_cast<size_t>(d);
+        ++index[du];
+        src += src_strides[du];
+        if (index[du] < new_dims[du]) break;
+        src -= src_strides[du] * new_dims[du];
+        index[du] = 0;
+      }
+    }
+  });
   return out;
 }
 
@@ -340,6 +660,8 @@ Tensor Slice(const Tensor& a, int64_t axis, int64_t start, int64_t len) {
 }
 
 Tensor SumAll(const Tensor& a) {
+  // Serial on purpose: a single double accumulator keeps the reduction
+  // order (and therefore the rounding) fixed for every thread count.
   double total = 0;
   for (int64_t i = 0; i < a.numel(); ++i) total += a[i];
   return Tensor::Scalar(static_cast<float>(total));
@@ -368,12 +690,31 @@ Tensor Sum(const Tensor& a, int64_t axis, bool keepdim) {
     if (dims.empty()) dims.push_back(1);
   }
   Tensor out{Shape(dims)};
-  for (int64_t o = 0; o < outer; ++o) {
-    for (int64_t m = 0; m < mid; ++m) {
-      const float* src = a.data() + (o * mid + m) * inner;
-      float* dst = out.data() + o * inner;
-      for (int64_t i = 0; i < inner; ++i) dst[i] += src[i];
-    }
+  const float* pa = a.data();
+  float* po = out.data();
+  if (outer > 1) {
+    // Each outer slice owns a disjoint output range.
+    const int64_t grain =
+        std::max<int64_t>(1, kElemGrain / std::max<int64_t>(1, mid * inner));
+    ParallelFor(outer, grain, [&](int64_t o0, int64_t o1) {
+      for (int64_t o = o0; o < o1; ++o) {
+        for (int64_t m = 0; m < mid; ++m) {
+          const float* src = pa + (o * mid + m) * inner;
+          float* dst = po + o * inner;
+          for (int64_t i = 0; i < inner; ++i) dst[i] += src[i];
+        }
+      }
+    });
+  } else {
+    // Single outer slice: split the contiguous inner range instead; each
+    // chunk still accumulates over `mid` in ascending order.
+    ParallelFor(inner, kElemGrain / std::max<int64_t>(1, mid),
+                [&](int64_t i0, int64_t i1) {
+                  for (int64_t m = 0; m < mid; ++m) {
+                    const float* src = pa + m * inner;
+                    for (int64_t i = i0; i < i1; ++i) po[i] += src[i];
+                  }
+                });
   }
   return out;
 }
@@ -404,23 +745,30 @@ Tensor SoftmaxLastDim(const Tensor& a) {
   ODF_CHECK_GT(inner, 0);
   const int64_t outer = a.numel() / inner;
   Tensor out(a.shape());
-  for (int64_t o = 0; o < outer; ++o) {
-    const float* src = a.data() + o * inner;
-    float* dst = out.data() + o * inner;
-    float max_v = src[0];
-    for (int64_t i = 1; i < inner; ++i) max_v = std::max(max_v, src[i]);
-    float total = 0;
-    for (int64_t i = 0; i < inner; ++i) {
-      dst[i] = std::exp(src[i] - max_v);
-      total += dst[i];
+  const float* pa = a.data();
+  float* po = out.data();
+  const int64_t grain =
+      std::max<int64_t>(1, kElemGrain / std::max<int64_t>(1, inner));
+  ParallelFor(outer, grain, [&](int64_t o0, int64_t o1) {
+    for (int64_t o = o0; o < o1; ++o) {
+      const float* src = pa + o * inner;
+      float* dst = po + o * inner;
+      float max_v = src[0];
+      for (int64_t i = 1; i < inner; ++i) max_v = std::max(max_v, src[i]);
+      float total = 0;
+      for (int64_t i = 0; i < inner; ++i) {
+        dst[i] = std::exp(src[i] - max_v);
+        total += dst[i];
+      }
+      const float inv = 1.0f / total;
+      for (int64_t i = 0; i < inner; ++i) dst[i] *= inv;
     }
-    const float inv = 1.0f / total;
-    for (int64_t i = 0; i < inner; ++i) dst[i] *= inv;
-  }
+  });
   return out;
 }
 
 float SquaredNorm(const Tensor& a) {
+  // Serial for the same determinism reason as SumAll.
   double total = 0;
   for (int64_t i = 0; i < a.numel(); ++i) {
     total += static_cast<double>(a[i]) * a[i];

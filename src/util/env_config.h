@@ -9,6 +9,12 @@ namespace odf {
 // Small helpers for environment-driven experiment configuration. Benchmarks
 // and examples use these so that their scale can be adjusted without
 // recompiling (e.g. `ODF_SCALE=paper ./bench_table2_overall`).
+//
+// Library-level knobs read through these helpers:
+//   ODF_THREADS=<n>  size of the global compute thread pool (ThreadPool::
+//                    Global()). Defaults to hardware concurrency; 1 runs
+//                    every kernel serially. Numeric results are independent
+//                    of the value.
 
 /// Returns the value of environment variable `name`, or `fallback` if unset.
 std::string GetEnvString(const char* name, const std::string& fallback);

@@ -1,0 +1,117 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/env_config.h"
+
+namespace odf {
+namespace {
+
+thread_local bool t_in_pool_worker = false;
+
+int DefaultThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace
+
+ThreadPool& ThreadPool::Global() {
+  // Leaked on purpose: kernels may run during static destruction.
+  static ThreadPool* pool = new ThreadPool(
+      static_cast<int>(GetEnvInt("ODF_THREADS", DefaultThreads())));
+  return *pool;
+}
+
+ThreadPool::ThreadPool(int threads) { Start(threads); }
+
+ThreadPool::~ThreadPool() { Stop(); }
+
+bool ThreadPool::InWorker() { return t_in_pool_worker; }
+
+void ThreadPool::Start(int threads) {
+  threads_ = std::max(1, threads);
+  stop_ = false;
+  // threads_ counts the calling thread: a pool of size T spawns T-1 workers
+  // and ParallelFor runs the first chunk on the caller.
+  workers_.reserve(static_cast<size_t>(threads_ - 1));
+  for (int i = 0; i < threads_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ThreadPool::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+  workers_.clear();
+}
+
+void ThreadPool::Resize(int threads) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ODF_CHECK(tasks_.empty()) << "Resize during an active parallel region";
+  }
+  Stop();
+  Start(threads);
+}
+
+void ThreadPool::WorkerLoop() {
+  t_in_pool_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_) return;
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t n, int64_t grain, const RangeFn& fn) {
+  if (n <= 0) return;
+  grain = std::max<int64_t>(1, grain);
+  // Inline when serial, when the range is too small to split, or when we
+  // are already inside a pool task (no oversubscription, no deadlock).
+  if (threads_ <= 1 || n <= grain || t_in_pool_worker) {
+    fn(0, n);
+    return;
+  }
+  const int64_t max_chunks = (n + grain - 1) / grain;
+  // num_chunks <= n (grain >= 1), so the proportional boundaries below are
+  // strictly increasing and every chunk is non-empty.
+  const int64_t num_chunks = std::min<int64_t>(threads_, max_chunks);
+
+  // Completion latch for this region; notified under the lock so the last
+  // worker never touches it after this frame unblocks.
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  int64_t done = 0;
+  const int64_t queued = num_chunks - 1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int64_t c = 1; c < num_chunks; ++c) {
+      const int64_t begin = c * n / num_chunks;
+      const int64_t end = (c + 1) * n / num_chunks;
+      tasks_.emplace_back([&fn, &done_mu, &done_cv, &done, begin, end] {
+        fn(begin, end);
+        std::lock_guard<std::mutex> g(done_mu);
+        ++done;
+        done_cv.notify_one();
+      });
+    }
+  }
+  cv_.notify_all();
+  fn(0, n / num_chunks);
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&] { return done == queued; });
+}
+
+}  // namespace odf

@@ -1,0 +1,218 @@
+// Tests of the parallel compute substrate: the blocked GEMM against a naive
+// reference over randomized shapes, and thread-count invariance — every
+// kernel (and a full training run) must produce the same result for
+// ODF_THREADS=1 and ODF_THREADS=4.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/advanced_framework.h"
+#include "core/trainer.h"
+#include "nn/optimizer.h"
+#include "od/dataset.h"
+#include "sim/trip_generator.h"
+#include "tensor/tensor_ops.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace odf {
+namespace {
+
+// The seed's i-k-j triple loop, the reference the blocked GEMM must match.
+Tensor NaiveMatMulReference(const Tensor& a, const Tensor& b) {
+  const int64_t m = a.dim(0);
+  const int64_t k = a.dim(1);
+  const int64_t n = b.dim(1);
+  Tensor out(Shape({m, n}));
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av = a.data()[i * k + kk];
+      for (int64_t j = 0; j < n; ++j) {
+        out.data()[i * n + j] += av * b.data()[kk * n + j];
+      }
+    }
+  }
+  return out;
+}
+
+// Restores the global pool's thread count when a test scope exits.
+struct PoolGuard {
+  int64_t saved = ThreadPool::Global().threads();
+  ~PoolGuard() { ThreadPool::Global().Resize(static_cast<int>(saved)); }
+};
+
+TEST(SubstrateGemmTest, RandomizedShapesMatchNaiveReference) {
+  PoolGuard guard;
+  Rng rng(123);
+  // Shapes straddle every regime: the small-problem naive path, single
+  // micro-tiles, ragged edge tiles, multiple kMC/kKC blocks.
+  for (int trial = 0; trial < 40; ++trial) {
+    const int64_t m = 1 + rng.UniformInt(130);
+    const int64_t k = 1 + rng.UniformInt(300);
+    const int64_t n = 1 + rng.UniformInt(130);
+    Tensor a = Tensor::RandomNormal(Shape({m, k}), rng);
+    Tensor b = Tensor::RandomNormal(Shape({k, n}), rng);
+    ThreadPool::Global().Resize(trial % 2 == 0 ? 1 : 4);
+    Tensor got = MatMul(a, b);
+    Tensor want = NaiveMatMulReference(a, b);
+    ASSERT_TRUE(AllClose(got, want, 1e-4f))
+        << "m=" << m << " k=" << k << " n=" << n;
+  }
+}
+
+TEST(SubstrateGemmTest, LargeSquareMatchesNaiveReference) {
+  PoolGuard guard;
+  ThreadPool::Global().Resize(4);
+  Rng rng(7);
+  Tensor a = Tensor::RandomNormal(Shape({192, 320}), rng);
+  Tensor b = Tensor::RandomNormal(Shape({320, 160}), rng);
+  EXPECT_TRUE(AllClose(MatMul(a, b), NaiveMatMulReference(a, b), 1e-4f));
+}
+
+TEST(SubstrateGemmTest, BatchMatMulMatchesPerBatchReference) {
+  PoolGuard guard;
+  Rng rng(21);
+  const int64_t batch = 5;
+  const int64_t m = 33, k = 65, n = 17;
+  Tensor a = Tensor::RandomNormal(Shape({batch, m, k}), rng);
+  Tensor b3 = Tensor::RandomNormal(Shape({batch, k, n}), rng);
+  Tensor b2 = Tensor::RandomNormal(Shape({k, n}), rng);
+  for (int threads : {1, 4}) {
+    ThreadPool::Global().Resize(threads);
+    Tensor got3 = BatchMatMul(a, b3);
+    Tensor got2 = BatchMatMul(a, b2);  // rank-2 b broadcast over the batch
+    for (int64_t bi = 0; bi < batch; ++bi) {
+      Tensor ai(Shape({m, k}));
+      std::copy(a.data() + bi * m * k, a.data() + (bi + 1) * m * k,
+                ai.data());
+      Tensor bslice(Shape({k, n}));
+      std::copy(b3.data() + bi * k * n, b3.data() + (bi + 1) * k * n,
+                bslice.data());
+      Tensor want3 = NaiveMatMulReference(ai, bslice);
+      Tensor want2 = NaiveMatMulReference(ai, b2);
+      for (int64_t i = 0; i < m * n; ++i) {
+        ASSERT_NEAR(got3.data()[bi * m * n + i], want3.data()[i], 1e-4f);
+        ASSERT_NEAR(got2.data()[bi * m * n + i], want2.data()[i], 1e-4f);
+      }
+    }
+  }
+}
+
+// The substrate's determinism contract: the arithmetic order behind every
+// output element depends only on the problem shape, never the thread count,
+// so 1-thread and 4-thread runs are bit-identical.
+TEST(SubstrateDeterminismTest, KernelsAreThreadCountInvariant) {
+  PoolGuard guard;
+  Rng rng(99);
+  Tensor a2 = Tensor::RandomNormal(Shape({150, 260}), rng);
+  Tensor b2 = Tensor::RandomNormal(Shape({260, 140}), rng);
+  Tensor a3 = Tensor::RandomNormal(Shape({12, 40, 24}), rng);
+  Tensor b3 = Tensor::RandomNormal(Shape({12, 24, 32}), rng);
+  Tensor big = Tensor::RandomNormal(Shape({8, 64, 64, 7}), rng);
+  Tensor big_b = Tensor::RandomNormal(Shape({8, 64, 64, 7}), rng);
+
+  ThreadPool::Global().Resize(1);
+  Tensor mm1 = MatMul(a2, b2);
+  Tensor bmm1 = BatchMatMul(a3, b3);
+  Tensor tr1 = Transpose2D(a2);
+  Tensor perm1 = Permute(big, {0, 1, 3, 2});
+  Tensor sum0_1 = Sum(big, 0, /*keepdim=*/false);
+  Tensor sum3_1 = Sum(big, 3, /*keepdim=*/false);
+  Tensor soft1 = SoftmaxLastDim(big);
+  Tensor add1 = Add(big, big_b);
+  Tensor exp1 = Exp(big);
+
+  ThreadPool::Global().Resize(4);
+  EXPECT_TRUE(AllClose(MatMul(a2, b2), mm1, 0.0f));
+  EXPECT_TRUE(AllClose(BatchMatMul(a3, b3), bmm1, 0.0f));
+  EXPECT_TRUE(AllClose(Transpose2D(a2), tr1, 0.0f));
+  EXPECT_TRUE(AllClose(Permute(big, {0, 1, 3, 2}), perm1, 0.0f));
+  EXPECT_TRUE(AllClose(Sum(big, 0, false), sum0_1, 0.0f));
+  EXPECT_TRUE(AllClose(Sum(big, 3, false), sum3_1, 0.0f));
+  EXPECT_TRUE(AllClose(SoftmaxLastDim(big), soft1, 0.0f));
+  EXPECT_TRUE(AllClose(Add(big, big_b), add1, 0.0f));
+  EXPECT_TRUE(AllClose(Exp(big), exp1, 0.0f));
+}
+
+struct AfFixture {
+  DatasetSpec spec = MakeNycLike(4, 4, 2, 60);
+  OdTensorSeries series;
+  ForecastDataset dataset;
+
+  AfFixture()
+      : series(BuildSeries()), dataset(&series, 3, 1) {}
+
+  OdTensorSeries BuildSeries() {
+    TripGenerator gen(spec.graph, spec.config);
+    return BuildOdTensorSeries(gen.Generate(), TimePartition(60, 2), 16, 16,
+                               SpeedHistogramSpec::Paper());
+  }
+};
+
+// One AF training step with 1 thread and with 4 threads, from identical
+// initialization, must produce identical losses and parameters.
+TEST(SubstrateDeterminismTest, AdvancedFrameworkTrainStepInvariant) {
+  PoolGuard guard;
+  AfFixture fixture;
+  Batch batch = fixture.dataset.MakeBatch({0, 1, 2, 3});
+
+  auto run_step = [&](int threads) {
+    ThreadPool::Global().Resize(threads);
+    AdvancedFramework model(fixture.spec.graph, fixture.spec.graph, 7, 1, {});
+    nn::Adam optimizer(model.Parameters(), 1e-3f);
+    Rng rng(5);
+    optimizer.ZeroGrad();
+    autograd::Var loss = model.Loss(batch, /*train=*/true, rng);
+    loss.Backward();
+    optimizer.Step();
+    std::vector<Tensor> params;
+    for (const auto& p : model.Parameters()) params.push_back(p.value());
+    return std::make_pair(loss.value().Item(), params);
+  };
+
+  auto [loss1, params1] = run_step(1);
+  auto [loss4, params4] = run_step(4);
+  EXPECT_FLOAT_EQ(loss1, loss4);
+  ASSERT_EQ(params1.size(), params4.size());
+  for (size_t i = 0; i < params1.size(); ++i) {
+    EXPECT_TRUE(AllClose(params1[i], params4[i], 1e-6f)) << "param " << i;
+  }
+}
+
+// Full (tiny) training runs — including the parallel validation evaluation —
+// must agree across thread counts, and the forecasts they produce must match.
+TEST(SubstrateDeterminismTest, TrainForecasterInvariant) {
+  PoolGuard guard;
+  AfFixture fixture;
+  ForecastDataset::Split split = fixture.dataset.ChronologicalSplit(0.5, 0.2);
+  TrainConfig config;
+  config.epochs = 2;
+  config.batch_size = 4;
+  config.seed = 11;
+  Batch test_batch = fixture.dataset.MakeBatch(split.test);
+
+  auto run = [&](int threads) {
+    ThreadPool::Global().Resize(threads);
+    AdvancedFramework model(fixture.spec.graph, fixture.spec.graph, 7, 1, {});
+    TrainResult result =
+        TrainForecaster(model, fixture.dataset, split, config);
+    return std::make_pair(result, model.Predict(test_batch));
+  };
+
+  auto [res1, pred1] = run(1);
+  auto [res4, pred4] = run(4);
+  ASSERT_EQ(res1.train_losses.size(), res4.train_losses.size());
+  for (size_t e = 0; e < res1.train_losses.size(); ++e) {
+    EXPECT_FLOAT_EQ(res1.train_losses[e], res4.train_losses[e]);
+    EXPECT_FLOAT_EQ(res1.validation_losses[e], res4.validation_losses[e]);
+  }
+  ASSERT_EQ(pred1.size(), pred4.size());
+  for (size_t h = 0; h < pred1.size(); ++h) {
+    EXPECT_TRUE(AllClose(pred1[h], pred4[h], 1e-5f)) << "horizon " << h;
+  }
+}
+
+}  // namespace
+}  // namespace odf
