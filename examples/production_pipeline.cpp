@@ -1,12 +1,17 @@
 // Production-style pipeline: the full API surface a deployment would use.
 //
-//   trips.csv  ->  OD tensors  ->  train AF  ->  checkpoint  ->  reload
-//              ->  forecast    ->  outlier guard  ->  serve
+//   trips.csv  ->  OD tensors  ->  train AF (crash-safe)  ->  checkpoint
+//              ->  reload      ->  forecast  ->  outlier guard  ->  serve
 //
 // The trips come from the simulator here, but the CSV step is exactly where
 // real data (e.g. map-matched NYC TLC records) plugs in.
+//
+// Training writes rolling TrainingCheckpoint snapshots; run with `--resume`
+// after an interruption to continue from the newest valid snapshot —
+// bit-identically to a run that was never interrupted.
 
 #include <cstdio>
+#include <cstring>
 
 #include "baselines/naive_histogram.h"
 #include "core/advanced_framework.h"
@@ -17,10 +22,21 @@
 #include "od/trip_io.h"
 #include "sim/trip_generator.h"
 
-int main() {
+int main(int argc, char** argv) {
+  bool resume = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--resume") == 0) {
+      resume = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--resume]\n", argv[0]);
+      return 2;
+    }
+  }
+
   const std::string trips_path = "/tmp/odf_trips.csv";
   const std::string regions_path = "/tmp/odf_regions.csv";
   const std::string checkpoint_path = "/tmp/odf_af_checkpoint.bin";
+  const std::string training_checkpoint_dir = "/tmp/odf_af_training_ckpts";
 
   // --- Ingest: persist and reload the raw data as CSV. ------------------
   odf::DatasetSpec spec = odf::MakeNycLike(4, 4, 6, 30);
@@ -49,11 +65,18 @@ int main() {
   odf::ForecastDataset dataset(&series, 6, 1);
   const auto split = dataset.ChronologicalSplit(0.7, 0.1);
 
-  // --- Train and checkpoint. --------------------------------------------
+  // --- Train with crash-safe snapshots, then checkpoint. ----------------
   odf::AdvancedFrameworkConfig model_config;
   odf::AdvancedFramework model(graph, graph, 7, 1, model_config);
   odf::TrainConfig train;
   train.epochs = 8;
+  train.checkpoint_dir = training_checkpoint_dir;
+  train.checkpoint_every_epochs = 2;
+  train.resume = resume;
+  if (resume) {
+    std::printf("resuming from newest snapshot in %s (if any)\n",
+                training_checkpoint_dir.c_str());
+  }
   model.Fit(dataset, split, train);
   ODF_CHECK(odf::nn::SaveParameters(model, checkpoint_path));
   std::printf("checkpoint saved (%lld weights)\n",

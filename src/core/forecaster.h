@@ -23,6 +23,20 @@ struct TrainConfig {
   int patience = 6;
   uint64_t seed = 7;
   bool verbose = false;
+
+  // --- Crash-safe checkpointing (docs/checkpoint_format.md). -------------
+  /// Directory for rolling TrainingCheckpoint snapshots; empty disables
+  /// checkpointing. Created on demand.
+  std::string checkpoint_dir;
+  /// A snapshot is written after every this-many completed epochs (and
+  /// always after the final epoch, including an early-stopping exit).
+  int checkpoint_every_epochs = 1;
+  /// Bound on retained snapshots; older ones are pruned after each write.
+  int checkpoint_keep = 3;
+  /// Resume from the newest valid checkpoint in `checkpoint_dir` (corrupt
+  /// files are skipped with a warning; none valid = train from scratch).
+  /// A resumed run is bit-identical to one that never stopped.
+  bool resume = false;
 };
 
 /// Common interface of every forecasting method in the study: the paper's

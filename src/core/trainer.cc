@@ -1,10 +1,17 @@
 #include "core/trainer.h"
 
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
 #include <limits>
 #include <span>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "nn/optimizer.h"
+#include "nn/serialize.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -49,6 +56,133 @@ float EvaluateLoss(NeuralForecaster& model, const ForecastDataset& dataset,
   return static_cast<float>(total / static_cast<double>(num_batches));
 }
 
+// ---------------------------------------------------------------------------
+// Checkpoint files: <dir>/ckpt-<epoch>.odfckpt, rolling, newest wins.
+// ---------------------------------------------------------------------------
+
+constexpr char kCheckpointPrefix[] = "ckpt-";
+constexpr char kCheckpointSuffix[] = ".odfckpt";
+
+std::string CheckpointPath(const std::string& dir, int64_t epoch) {
+  char name[64];
+  std::snprintf(name, sizeof name, "%s%08" PRId64 "%s", kCheckpointPrefix,
+                epoch, kCheckpointSuffix);
+  return (std::filesystem::path(dir) / name).string();
+}
+
+/// Checkpoint files in `dir` as (epoch, path), sorted by ascending epoch.
+/// Non-matching files are ignored.
+std::vector<std::pair<int64_t, std::string>> ListCheckpoints(
+    const std::string& dir) {
+  std::vector<std::pair<int64_t, std::string>> found;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    const std::string prefix(kCheckpointPrefix);
+    const std::string suffix(kCheckpointSuffix);
+    if (name.size() <= prefix.size() + suffix.size() ||
+        name.compare(0, prefix.size(), prefix) != 0 ||
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+            0) {
+      continue;
+    }
+    const std::string digits =
+        name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+    if (digits.empty() || digits.size() > 12 ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    found.emplace_back(std::stoll(digits), entry.path().string());
+  }
+  std::sort(found.begin(), found.end());
+  return found;
+}
+
+/// Writes a rolling snapshot of the full training state after `epoch` and
+/// prunes snapshots beyond `config.checkpoint_keep`.
+void WriteCheckpoint(const TrainConfig& config, NeuralForecaster& model,
+                     const nn::Adam& optimizer, const Rng& rng,
+                     const TrainResult& result, int stale_epochs,
+                     const std::vector<Tensor>& best_weights, int epoch) {
+  std::error_code ec;
+  std::filesystem::create_directories(config.checkpoint_dir, ec);
+
+  nn::TrainingCheckpoint checkpoint;
+  checkpoint.epoch = epoch;
+  checkpoint.train_losses = result.train_losses;
+  checkpoint.validation_losses = result.validation_losses;
+  checkpoint.best_validation_loss = result.best_validation_loss;
+  checkpoint.best_epoch = result.best_epoch;
+  checkpoint.stale_epochs = stale_epochs;
+  checkpoint.best_weights = best_weights;
+  for (const auto& p : model.Parameters()) {
+    checkpoint.parameters.push_back(p.value());
+  }
+  checkpoint.optimizer = optimizer.ExportState();
+  checkpoint.rng = rng.SaveState();
+
+  const std::string path = CheckpointPath(config.checkpoint_dir, epoch);
+  if (!nn::SaveTrainingCheckpoint(checkpoint, path)) {
+    ODF_LOG(Warning) << "failed to write checkpoint " << path;
+    return;
+  }
+
+  auto existing = ListCheckpoints(config.checkpoint_dir);
+  const int keep = std::max(1, config.checkpoint_keep);
+  while (existing.size() > static_cast<size_t>(keep)) {
+    std::filesystem::remove(existing.front().second, ec);
+    existing.erase(existing.begin());
+  }
+}
+
+/// Tries to restore the newest valid checkpoint. On success commits the
+/// full state into model/optimizer/rng/result and returns the next epoch
+/// to run; on failure (no dir, no files, all corrupt or incompatible)
+/// leaves everything untouched and returns 0.
+int ResumeFromCheckpoint(const TrainConfig& config, NeuralForecaster& model,
+                         nn::Adam& optimizer, Rng& rng, TrainResult& result,
+                         int& stale_epochs,
+                         std::vector<Tensor>& best_weights) {
+  auto candidates = ListCheckpoints(config.checkpoint_dir);
+  for (auto it = candidates.rbegin(); it != candidates.rend(); ++it) {
+    const std::string& path = it->second;
+    nn::TrainingCheckpoint checkpoint;
+    nn::LoadResult load = nn::LoadTrainingCheckpoint(path, &checkpoint);
+    if (load.ok()) {
+      load = nn::ApplyParameters(model, checkpoint.parameters);
+    }
+    if (load.ok() && !optimizer.ImportState(checkpoint.optimizer)) {
+      load = {nn::LoadStatus::kArchMismatch,
+              "optimizer state does not match model parameters"};
+    }
+    if (!load.ok()) {
+      ODF_LOG(Warning) << "skipping checkpoint " << path << ": "
+                       << nn::LoadStatusName(load.status) << " — "
+                       << load.message;
+      continue;
+    }
+    // Best weights, when present, must mirror the parameter shapes.
+    if (!checkpoint.best_weights.empty() &&
+        checkpoint.best_weights.size() != checkpoint.parameters.size()) {
+      ODF_LOG(Warning) << "skipping checkpoint " << path
+                       << ": best-weights/parameter count mismatch";
+      continue;
+    }
+    rng.LoadState(checkpoint.rng);
+    result.train_losses = checkpoint.train_losses;
+    result.validation_losses = checkpoint.validation_losses;
+    result.best_validation_loss = checkpoint.best_validation_loss;
+    result.best_epoch = static_cast<int>(checkpoint.best_epoch);
+    result.epochs_run = static_cast<int>(checkpoint.epoch) + 1;
+    stale_epochs = static_cast<int>(checkpoint.stale_epochs);
+    best_weights = std::move(checkpoint.best_weights);
+    ODF_LOG(Info) << "resumed " << model.name() << " from " << path
+                  << " (epoch " << checkpoint.epoch << ")";
+    return static_cast<int>(checkpoint.epoch) + 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 TrainResult TrainForecaster(NeuralForecaster& model,
@@ -56,6 +190,7 @@ TrainResult TrainForecaster(NeuralForecaster& model,
                             const ForecastDataset::Split& split,
                             const TrainConfig& config) {
   ODF_CHECK(!split.train.empty());
+  const bool checkpointing = !config.checkpoint_dir.empty();
   Rng rng(config.seed);
   model.set_dropout_rate(config.dropout);
   nn::Adam optimizer(model.Parameters(), config.learning_rate);
@@ -68,9 +203,19 @@ TrainResult TrainForecaster(NeuralForecaster& model,
   result.best_validation_loss = std::numeric_limits<float>::infinity();
   std::vector<Tensor> best_weights;
   int stale_epochs = 0;
+  int start_epoch = 0;
+  if (checkpointing && config.resume) {
+    start_epoch = ResumeFromCheckpoint(config, model, optimizer, rng, result,
+                                       stale_epochs, best_weights);
+  }
   Stopwatch watch;
 
-  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+  // A resumed run whose checkpoint already crossed the patience threshold
+  // must not train further; the loop below re-checks after each epoch.
+  const bool already_stopped = stale_epochs > config.patience;
+
+  for (int epoch = start_epoch; !already_stopped && epoch < config.epochs;
+       ++epoch) {
     schedule.Apply(optimizer, epoch);
     double epoch_loss = 0;
     int64_t batches = 0;
@@ -110,8 +255,17 @@ TrainResult TrainForecaster(NeuralForecaster& model,
       }
     } else {
       ++stale_epochs;
-      if (stale_epochs > config.patience) break;
     }
+    const bool stopping =
+        stale_epochs > config.patience || epoch == config.epochs - 1;
+
+    if (checkpointing &&
+        (stopping || (epoch + 1) % std::max(1, config.checkpoint_every_epochs)
+                         == 0)) {
+      WriteCheckpoint(config, model, optimizer, rng, result, stale_epochs,
+                      best_weights, epoch);
+    }
+    if (stale_epochs > config.patience) break;
   }
 
   // Restore the best-validation weights.

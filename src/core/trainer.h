@@ -20,6 +20,12 @@ struct TrainResult {
 /// Adam with step-decayed learning rate, gradient-norm clipping, dropout
 /// inside the model's Loss, early stopping on the validation loss, and
 /// restoration of the best-validation weights at the end.
+///
+/// When `config.checkpoint_dir` is set, the full training state (weights,
+/// Adam moments, RNG stream, schedule position, early-stopping bookkeeping)
+/// is written there as rolling, atomically-replaced snapshots, and
+/// `config.resume` continues from the newest valid one — bit-identically to
+/// a run that never stopped (docs/checkpoint_format.md).
 TrainResult TrainForecaster(NeuralForecaster& model,
                             const ForecastDataset& dataset,
                             const ForecastDataset::Split& split,

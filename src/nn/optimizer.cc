@@ -70,6 +70,32 @@ void Adam::Step() {
   }
 }
 
+OptimizerState Adam::ExportState() const {
+  OptimizerState state;
+  state.step = t_;
+  state.slots.reserve(m_.size() + v_.size());
+  state.slots.insert(state.slots.end(), m_.begin(), m_.end());
+  state.slots.insert(state.slots.end(), v_.begin(), v_.end());
+  return state;
+}
+
+bool Adam::ImportState(const OptimizerState& state) {
+  const size_t count = params_.size();
+  if (state.step < 0 || state.slots.size() != 2 * count) return false;
+  for (size_t i = 0; i < count; ++i) {
+    if (state.slots[i].shape() != params_[i].value().shape()) return false;
+    if (state.slots[count + i].shape() != params_[i].value().shape()) {
+      return false;
+    }
+  }
+  t_ = state.step;
+  for (size_t i = 0; i < count; ++i) {
+    m_[i] = state.slots[i];
+    v_[i] = state.slots[count + i];
+  }
+  return true;
+}
+
 float StepDecaySchedule::LearningRate(int epoch) const {
   ODF_CHECK_GE(epoch, 0);
   return initial_lr_ *

@@ -7,6 +7,15 @@
 
 namespace odf::nn {
 
+/// Serializable optimizer state for checkpointing: a step counter plus the
+/// optimizer's per-parameter accumulator tensors in an optimizer-defined
+/// order (Adam: all first moments m, then all second moments v). Stateless
+/// optimizers export an empty snapshot.
+struct OptimizerState {
+  int64_t step = 0;
+  std::vector<Tensor> slots;
+};
+
 /// Base optimizer over a fixed parameter list.
 class Optimizer {
  public:
@@ -19,6 +28,16 @@ class Optimizer {
   /// Applies one update using the gradients currently stored on the
   /// parameters.
   virtual void Step() = 0;
+
+  /// Snapshots the internal state (empty for stateless optimizers).
+  virtual OptimizerState ExportState() const { return {}; }
+
+  /// Restores a snapshot taken by ExportState() on an identically
+  /// structured optimizer. Returns false — leaving the current state
+  /// untouched — when the snapshot's shape doesn't match.
+  virtual bool ImportState(const OptimizerState& state) {
+    return state.slots.empty() && state.step == 0;
+  }
 
   /// Clears all parameter gradients.
   void ZeroGrad() {
@@ -56,6 +75,12 @@ class Adam : public Optimizer {
   Adam(std::vector<autograd::Var> params, float lr, float beta1 = 0.9f,
        float beta2 = 0.999f, float epsilon = 1e-8f);
   void Step() override;
+
+  /// State layout: step = t, slots = [m_0 … m_{P-1}, v_0 … v_{P-1}].
+  OptimizerState ExportState() const override;
+  bool ImportState(const OptimizerState& state) override;
+
+  int64_t step_count() const { return t_; }
 
  private:
   float beta1_;

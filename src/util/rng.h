@@ -1,6 +1,7 @@
 #ifndef ODF_UTIL_RNG_H_
 #define ODF_UTIL_RNG_H_
 
+#include <array>
 #include <cmath>
 #include <cstdint>
 #include <vector>
@@ -139,6 +140,31 @@ class Rng {
 
   /// Splits off an independent generator (for parallel / per-module streams).
   Rng Split() { return Rng(NextU64() ^ 0xD3833E804F4C574Bull); }
+
+  /// Complete generator state, including the Box–Muller cache, so a
+  /// restored generator continues the exact same stream (checkpointing).
+  struct State {
+    std::array<uint64_t, 4> s{};
+    bool has_cached_gaussian = false;
+    double cached_gaussian = 0.0;
+  };
+
+  /// Snapshots the full state.
+  State SaveState() const {
+    State state;
+    for (int i = 0; i < 4; ++i) state.s[static_cast<size_t>(i)] = state_[i];
+    state.has_cached_gaussian = has_cached_gaussian_;
+    state.cached_gaussian = cached_gaussian_;
+    return state;
+  }
+
+  /// Restores a snapshot taken with SaveState(); every subsequent draw is
+  /// bit-identical to the generator the snapshot was taken from.
+  void LoadState(const State& state) {
+    for (int i = 0; i < 4; ++i) state_[i] = state.s[static_cast<size_t>(i)];
+    has_cached_gaussian_ = state.has_cached_gaussian;
+    cached_gaussian_ = state.cached_gaussian;
+  }
 
  private:
   static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }

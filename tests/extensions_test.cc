@@ -87,13 +87,19 @@ TEST(SerializeTest, CheckpointRoundTripRestoresPredictions) {
   EXPECT_TRUE(AllClose(other.Predict(batch)[0], before, 1e-6f));
 }
 
-TEST(SerializeTest, ArchitectureMismatchAborts) {
+TEST(SerializeTest, ArchitectureMismatchIsTypedErrorNotAbort) {
   const std::string path = TempPath("mismatch_checkpoint.bin");
   Rng rng(1);
   nn::GruCell small(2, 3, rng);
   ASSERT_TRUE(nn::SaveParameters(small, path));
   nn::GruCell bigger(2, 4, rng);
-  EXPECT_DEATH(nn::LoadParameters(bigger, path), "mismatch");
+  const Tensor before = bigger.Parameters()[0].value();
+  const nn::LoadResult result = nn::LoadParametersChecked(bigger, path);
+  EXPECT_EQ(result.status, nn::LoadStatus::kArchMismatch);
+  EXPECT_NE(result.message.find("mismatch"), std::string::npos);
+  // The destination model is untouched on failure.
+  EXPECT_TRUE(AllClose(bigger.Parameters()[0].value(), before, 0.0f));
+  EXPECT_FALSE(nn::LoadParameters(bigger, path));
 }
 
 TEST(SerializeTest, MissingFileReturnsFalse) {

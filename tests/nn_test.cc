@@ -253,6 +253,53 @@ TEST(GcGruTest, GradCheck) {
   EXPECT_TRUE(result.ok) << result.max_abs_error;
 }
 
+TEST(GcGruTest, GateParameterGradCheck) {
+  // Eqs. 7–10: gradients must flow correctly into the Chebyshev gate
+  // convolutions (reset S, update U, candidate H̃) through the recurrence,
+  // not just into the input.
+  Rng rng(19);
+  Tensor lap = TestLaplacian(1, 3);
+  GcGruCell cell(lap, 1, 2, /*order=*/2, rng);
+  ag::Var x = ag::Var::Constant(
+      Tensor::RandomNormal(Shape({1, 3, 1}), rng, 0.0f, 0.5f));
+  std::vector<ag::Var> inputs = cell.Parameters();
+  ASSERT_EQ(inputs.size(), 6u);  // 3 gate convolutions × (weights + bias)
+  auto fn = [&](const std::vector<ag::Var>&) {
+    ag::Var h = cell.InitialState(1);
+    h = cell.Step(x, h);
+    h = cell.Step(x, h);
+    return ag::SumAll(ag::Square(h));
+  };
+  auto result = ag::GradCheck(fn, inputs, /*eps=*/1e-3, /*tol=*/3e-2);
+  EXPECT_TRUE(result.ok) << "gate parameter " << result.worst_input
+                         << " element " << result.worst_element << " err "
+                         << result.max_abs_error;
+}
+
+TEST(Seq2SeqGcGruTest, EndToEndParameterGradCheck) {
+  // The full CNRNN seq2seq (encoder + autoregressive decoder + ChebConv
+  // output head): every parameter's analytic gradient must match finite
+  // differences through the complete unrolled graph.
+  Rng rng(20);
+  Tensor lap = TestLaplacian(1, 3);
+  Seq2SeqGcGru model(lap, 1, 2, /*order=*/2, rng);
+  std::vector<ag::Var> sequence;
+  for (int t = 0; t < 2; ++t) {
+    sequence.push_back(ag::Var::Constant(
+        Tensor::RandomNormal(Shape({1, 3, 1}), rng, 0.0f, 0.5f)));
+  }
+  std::vector<ag::Var> inputs = model.Parameters();
+  auto fn = [&](const std::vector<ag::Var>&) {
+    auto outputs = model.Forward(sequence, 2);
+    ag::Var total = ag::SumAll(ag::Square(outputs[0]));
+    return ag::Add(total, ag::SumAll(ag::Square(outputs[1])));
+  };
+  auto result = ag::GradCheck(fn, inputs, /*eps=*/1e-3, /*tol=*/3e-2);
+  EXPECT_TRUE(result.ok) << "parameter " << result.worst_input
+                         << " element " << result.worst_element << " err "
+                         << result.max_abs_error;
+}
+
 TEST(Seq2SeqGcGruTest, OutputShapes) {
   Rng rng(17);
   Tensor lap = TestLaplacian(2, 2);

@@ -442,6 +442,44 @@ INSTANTIATE_TEST_SUITE_P(Depths, ChainDepthProperty,
                          ::testing::Values(1, 3, 8, 16));
 
 // ---------------------------------------------------------------------
+// Cluster-ordered graph pooling (paper Eq. 6): finite-difference gradients
+// through Graclus-produced cluster orderings — the real hierarchies the
+// advanced framework pools over, not hand-picked contiguous clusters —
+// for both reductions and across stacked levels.
+// ---------------------------------------------------------------------
+
+using PoolSetting = std::tuple<int, int, nn::PoolKind>;
+
+class ClusterPoolProperty : public ::testing::TestWithParam<PoolSetting> {};
+
+TEST_P(ClusterPoolProperty, GradCheckThroughGraclusHierarchy) {
+  const auto& [rows, cols, kind] = GetParam();
+  Rng rng(31);
+  RegionGraph g = RegionGraph::Grid(rows, cols, 1.0);
+  Tensor w = g.ProximityMatrix({.sigma = 1.0, .alpha = 1.5});
+  const auto levels = BuildCoarseningHierarchy(w, 2);
+  ASSERT_EQ(levels.size(), 2u);
+  const int64_t n = static_cast<int64_t>(rows) * cols;
+  std::vector<ag::Var> inputs = {
+      ag::Var(Tensor::RandomNormal(Shape({2, n, 3}), rng), true)};
+  auto fn = [&](const std::vector<ag::Var>& in) {
+    ag::Var pooled = nn::GraphPool(in[0], levels[0].clusters, kind);
+    pooled = nn::GraphPool(pooled, levels[1].clusters, kind);
+    return ag::SumAll(ag::Square(pooled));
+  };
+  auto result = ag::GradCheck(fn, inputs);
+  EXPECT_TRUE(result.ok) << rows << "x" << cols << " err "
+                         << result.max_abs_error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, ClusterPoolProperty,
+    ::testing::Values(PoolSetting{2, 2, nn::PoolKind::kAverage},
+                      PoolSetting{2, 3, nn::PoolKind::kMax},
+                      PoolSetting{3, 3, nn::PoolKind::kAverage},
+                      PoolSetting{3, 3, nn::PoolKind::kMax}));
+
+// ---------------------------------------------------------------------
 // Softmax temperature monotonicity across bucket counts.
 // ---------------------------------------------------------------------
 
