@@ -3,9 +3,12 @@
 // Default mode: a machine-readable sweep of the parallel compute substrate
 // (blocked GEMM, batched GEMM, elementwise kernels, softmax, ChebConv) over
 // thread counts, written to BENCH_substrate.json (override the path with
-// ODF_BENCH_JSON). This tracks the perf trajectory of the substrate across
-// PRs: per-kernel best wall time, GFLOP/s, parallel speedup, and the
-// blocked-vs-naive GEMM ratio.
+// ODF_BENCH_JSON), followed by a sparse-vs-dense graph sweep (CSR SpMM and
+// ChebConv forward on α-thresholded graphs at ~5/20/50% density) written to
+// BENCH_graph.json (override with ODF_BENCH_GRAPH_JSON). These track the
+// perf trajectory across PRs: per-kernel best wall time, GFLOP/s, parallel
+// speedup, the blocked-vs-naive GEMM ratio, and the sparse-over-dense
+// speedup per graph density.
 //
 // ODF_GBENCH=1 instead runs the original google-benchmark suite over the
 // tensor kernels, graph convolution, recurrent cells and a full AF training
@@ -268,6 +271,180 @@ int RunSubstrateSweep() {
 }
 
 // ---------------------------------------------------------------------------
+// Sparse-vs-dense graph sweep
+// ---------------------------------------------------------------------------
+
+// Scaled Laplacian of a random symmetric graph where each edge survives an
+// α-threshold with probability `edge_prob` (so L̂'s density is roughly
+// edge_prob plus the 1/n diagonal).
+Tensor RandomThresholdedLaplacian(int64_t n, double edge_prob, Rng& rng) {
+  Tensor w(Shape({n, n}));
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      if (rng.Bernoulli(edge_prob)) {
+        const float v = 0.05f + static_cast<float>(rng.Uniform());
+        w.At2(i, j) = v;
+        w.At2(j, i) = v;
+      }
+    }
+  }
+  return ScaledLaplacian(Laplacian(w));
+}
+
+struct GraphSweepResult {
+  std::string kernel;  // "spmm" | "chebconv_fwd"
+  std::string path;    // "sparse" | "dense"
+  int64_t n = 0;
+  double density = 0;
+  int threads = 1;
+  double best_seconds = 0;
+  double gflops = 0;
+};
+
+int RunGraphSweep() {
+  const std::vector<int> thread_counts = {1, 4};
+  const int64_t restore_threads = ThreadPool::Global().threads();
+  Rng rng(42);
+
+  // Shapes sized so the graph recurrence dominates: wide-enough features to
+  // fill the SpMM register tile, a small output head.
+  const int64_t batch = 8;
+  const int64_t f_in = 32;
+  const int64_t f_out = 16;
+  const int64_t order = 4;
+
+  std::vector<GraphSweepResult> results;
+  auto record = [&](const std::string& kernel, const std::string& path,
+                    int64_t n, double density, int threads, double seconds,
+                    double flops) {
+    results.push_back({kernel, path, n, density, threads, seconds,
+                       flops > 0 ? flops / seconds / 1e9 : 0});
+    std::fprintf(stderr, "%-13s %-6s n=%-4lld d=%4.1f%% t=%-2d %8.3f ms  %7.2f GF/s\n",
+                 kernel.c_str(), path.c_str(), static_cast<long long>(n),
+                 density * 100.0, threads, seconds * 1e3,
+                 flops > 0 ? flops / seconds / 1e9 : 0.0);
+  };
+
+  for (const int64_t n : {int64_t{128}, int64_t{256}}) {
+    for (const double edge_prob : {0.05, 0.20, 0.50}) {
+      const Tensor lap = RandomThresholdedLaplacian(n, edge_prob, rng);
+      const auto sparse_op = GraphOperator::Make(lap, /*force_sparse=*/1);
+      const auto dense_op = GraphOperator::Make(lap, /*force_sparse=*/0);
+      const double density = sparse_op->density();
+      const Tensor x = Tensor::RandomNormal(Shape({batch, n, f_in}), rng);
+      const double spmm_sparse_flops =
+          2.0 * static_cast<double>(sparse_op->csr().nnz()) * f_in * batch;
+      const double spmm_dense_flops =
+          2.0 * static_cast<double>(n) * n * f_in * batch;
+
+      // Parameter draws are shared so both convolutions are the same layer.
+      Rng sparse_rng(7);
+      Rng dense_rng(7);
+      const nn::ChebConv conv_sparse(sparse_op, f_in, f_out, order,
+                                     sparse_rng);
+      const nn::ChebConv conv_dense(dense_op, f_in, f_out, order, dense_rng);
+
+      for (const int t : thread_counts) {
+        ThreadPool::Global().Resize(t);
+        record("spmm", "sparse", n, density, t, BestSeconds([&] {
+                 benchmark::DoNotOptimize(SpMM(sparse_op->csr(), x));
+               }),
+               spmm_sparse_flops);
+        record("spmm", "dense", n, density, t, BestSeconds([&] {
+                 benchmark::DoNotOptimize(BatchMatMul(lap, x));
+               }),
+               spmm_dense_flops);
+        record("chebconv_fwd", "sparse", n, density, t, BestSeconds([&] {
+                 benchmark::DoNotOptimize(
+                     conv_sparse.Forward(ag::Var::Constant(x)).value());
+               }),
+               0);
+        record("chebconv_fwd", "dense", n, density, t, BestSeconds([&] {
+                 benchmark::DoNotOptimize(
+                     conv_dense.Forward(ag::Var::Constant(x)).value());
+               }),
+               0);
+      }
+    }
+  }
+  ThreadPool::Global().Resize(static_cast<int>(restore_threads));
+
+  // Derived single-thread sparse-over-dense speedups per (n, density).
+  auto best = [&](const std::string& kernel, const std::string& path,
+                  int64_t n, double density) {
+    for (const auto& r : results) {
+      if (r.kernel == kernel && r.path == path && r.n == n &&
+          r.density == density && r.threads == 1) {
+        return r.best_seconds;
+      }
+    }
+    return 0.0;
+  };
+
+  const std::string path =
+      GetEnvString("ODF_BENCH_GRAPH_JSON", "BENCH_graph.json");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"graph\",\n");
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"simd\": \"%s\",\n", SimdName());
+  std::fprintf(f,
+               "  \"shapes\": {\"batch\": %lld, \"f_in\": %lld, \"f_out\": "
+               "%lld, \"order\": %lld},\n",
+               static_cast<long long>(batch), static_cast<long long>(f_in),
+               static_cast<long long>(f_out), static_cast<long long>(order));
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::fprintf(f,
+                 "    {\"kernel\": \"%s\", \"path\": \"%s\", \"n\": %lld, "
+                 "\"density\": %.4f, \"threads\": %d, \"best_seconds\": "
+                 "%.6f, \"gflops\": %.3f}%s\n",
+                 r.kernel.c_str(), r.path.c_str(),
+                 static_cast<long long>(r.n), r.density, r.threads,
+                 r.best_seconds, r.gflops, i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"derived\": [\n");
+  bool first = true;
+  for (const int64_t n : {int64_t{128}, int64_t{256}}) {
+    for (const auto& r : results) {
+      if (r.kernel != "spmm" || r.path != "sparse" || r.n != n ||
+          r.threads != 1) {
+        continue;
+      }
+      const double d = r.density;
+      const double spmm_speedup =
+          best("spmm", "dense", n, d) / best("spmm", "sparse", n, d);
+      const double cheb_speedup = best("chebconv_fwd", "dense", n, d) /
+                                  best("chebconv_fwd", "sparse", n, d);
+      std::fprintf(f,
+                   "%s    {\"n\": %lld, \"density\": %.4f, "
+                   "\"spmm_sparse_speedup_1t\": %.3f, "
+                   "\"chebconv_sparse_speedup_1t\": %.3f}",
+                   first ? "" : ",\n", static_cast<long long>(n), d,
+                   spmm_speedup, cheb_speedup);
+      first = false;
+      std::fprintf(stderr,
+                   "n=%lld d=%4.1f%%: spmm sparse %.2fx, chebconv sparse "
+                   "%.2fx (1t)\n",
+                   static_cast<long long>(n), d * 100.0, spmm_speedup,
+                   cheb_speedup);
+    }
+  }
+  std::fprintf(f, "\n  ]\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
 // google-benchmark suite (ODF_GBENCH=1)
 // ---------------------------------------------------------------------------
 
@@ -399,5 +576,7 @@ int main(int argc, char** argv) {
     benchmark::Shutdown();
     return 0;
   }
-  return odf::RunSubstrateSweep();
+  const int substrate_rc = odf::RunSubstrateSweep();
+  const int graph_rc = odf::RunGraphSweep();
+  return substrate_rc != 0 ? substrate_rc : graph_rc;
 }

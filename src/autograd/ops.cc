@@ -135,6 +135,30 @@ Var BatchMatMul(const Var& a, const Var& b) {
   });
 }
 
+Var SpMM(std::shared_ptr<const GraphOperator> op, const Var& x) {
+  ODF_CHECK(x.rank() == 2 || x.rank() == 3);
+  ODF_CHECK_EQ(x.dim(x.rank() - 2), op->nodes());
+  Tensor out = op->use_sparse() ? odf::SpMM(op->csr(), x.value())
+                                : odf::BatchMatMul(op->dense(), x.value());
+  return MakeOpVar(std::move(out), {x}, [op](Node& node) {
+    Tensor dx = op->use_sparse()
+                    ? odf::SpMM(op->csr_transpose(), node.grad)
+                    : odf::BatchMatMul(op->dense_transpose(), node.grad);
+    node.parents[0]->AccumulateGrad(dx);
+  });
+}
+
+Var ChebyshevBasis(std::shared_ptr<const GraphOperator> op, const Var& x,
+                   int64_t order) {
+  ODF_CHECK_EQ(x.rank(), 3);
+  ODF_CHECK_EQ(x.dim(1), op->nodes());
+  Tensor out = odf::ChebyshevBasis(*op, x.value(), order);
+  return MakeOpVar(std::move(out), {x}, [op, order](Node& node) {
+    node.parents[0]->AccumulateGrad(
+        odf::ChebyshevBasisGrad(*op, node.grad, order));
+  });
+}
+
 Var Reshape(const Var& a, std::vector<int64_t> dims) {
   Tensor out = a.value().Reshape(std::move(dims));
   return MakeOpVar(std::move(out), {a}, [](Node& node) {

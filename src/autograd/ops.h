@@ -1,9 +1,11 @@
 #ifndef ODF_AUTOGRAD_OPS_H_
 #define ODF_AUTOGRAD_OPS_H_
 
+#include <memory>
 #include <vector>
 
 #include "autograd/var.h"
+#include "tensor/csr.h"
 #include "util/rng.h"
 
 namespace odf::autograd {
@@ -28,6 +30,21 @@ Var Square(const Var& a);
 Var MatMul(const Var& a, const Var& b);
 /// Batched matmul with rank-2 broadcast on either side (see tensor op).
 Var BatchMatMul(const Var& a, const Var& b);
+
+/// Applies a constant graph operator along the node dimension:
+/// y[b, i, f] = Σ_j L̂[i, j] · x[b, j, f] for x of shape [B, n, F] (or
+/// [n, F]). Runs the CSR SpMM kernel when `op` selected the sparse path and
+/// the dense BatchMatMul kernel otherwise; the gradient w.r.t. x is
+/// L̂ᵀ · dy through the same kernel choice (L̂ itself is constant).
+Var SpMM(std::shared_ptr<const GraphOperator> op, const Var& x);
+
+/// Fused Chebyshev basis: maps x [B, n, F] to [T_1 | T_2 | … | T_order]
+/// stacked on the feature axis ([B, n, order·F]), where T_1 = x, T_2 = L̂x,
+/// T_s = 2·L̂·T_{s-1} − T_{s-2}. One tape node for the whole recurrence; the
+/// backward pass runs the recurrence in reverse with L̂ᵀ. Both directions use
+/// the CSR kernel when `op` selected the sparse path.
+Var ChebyshevBasis(std::shared_ptr<const GraphOperator> op, const Var& x,
+                   int64_t order);
 
 // -- Shape surgery -----------------------------------------------------------
 

@@ -45,14 +45,18 @@ AdvancedFramework::AdvancedFramework(const RegionGraph& origin_graph,
   if (config_.use_gcgru) {
     // Forecasting stage: CNRNN over the graph matching the factor's node
     // dimension (origin graph for R, destination graph for C; Sec. V-B).
+    // One GraphOperator per graph (dense + CSR L̂) is shared by every
+    // encoder/decoder cell and the output head of that branch.
+    const auto origin_op =
+        GraphOperator::Make(ScaledLaplacian(origin_laplacian_));
+    const auto destination_op =
+        GraphOperator::Make(ScaledLaplacian(destination_laplacian_));
     r_seq_gc_ = std::make_unique<nn::Seq2SeqGcGru>(
-        ScaledLaplacian(origin_laplacian_), factor_features,
-        config_.gcgru_hidden, config_.cheb_order, init_rng_,
-        config_.gcgru_layers);
+        origin_op, factor_features, config_.gcgru_hidden, config_.cheb_order,
+        init_rng_, config_.gcgru_layers);
     c_seq_gc_ = std::make_unique<nn::Seq2SeqGcGru>(
-        ScaledLaplacian(destination_laplacian_), factor_features,
-        config_.gcgru_hidden, config_.cheb_order, init_rng_,
-        config_.gcgru_layers);
+        destination_op, factor_features, config_.gcgru_hidden,
+        config_.cheb_order, init_rng_, config_.gcgru_layers);
     RegisterSubmodule(r_seq_gc_.get());
     RegisterSubmodule(c_seq_gc_.get());
   } else {

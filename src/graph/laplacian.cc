@@ -1,36 +1,49 @@
 #include "graph/laplacian.h"
 
 #include <cmath>
+#include <vector>
 
 #include "tensor/linalg.h"
 #include "tensor/tensor_ops.h"
 
 namespace odf {
 
-Tensor DegreeMatrix(const Tensor& w) {
+Tensor DegreeVector(const Tensor& w) {
   ODF_CHECK_EQ(w.rank(), 2);
   const int64_t n = w.dim(0);
   ODF_CHECK_EQ(n, w.dim(1));
-  Tensor d(Shape({n, n}));
+  Tensor d(Shape({n}));
   for (int64_t i = 0; i < n; ++i) {
     double degree = 0;
     for (int64_t j = 0; j < n; ++j) degree += w.At2(i, j);
-    d.At2(i, i) = static_cast<float>(degree);
+    d[i] = static_cast<float>(degree);
   }
   return d;
 }
 
-Tensor Laplacian(const Tensor& w) { return Sub(DegreeMatrix(w), w); }
+Tensor Laplacian(const Tensor& w) {
+  const Tensor deg = DegreeVector(w);
+  const int64_t n = w.dim(0);
+  // L_ij = [i==j]·deg_i − W_ij, written directly instead of materialising
+  // the dense diagonal degree matrix.
+  Tensor l(Shape({n, n}));
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      l.At2(i, j) = (i == j ? deg[i] : 0.0f) - w.At2(i, j);
+    }
+  }
+  return l;
+}
 
 Tensor NormalizedLaplacian(const Tensor& w) {
-  ODF_CHECK_EQ(w.rank(), 2);
+  const Tensor deg = DegreeVector(w);
   const int64_t n = w.dim(0);
-  ODF_CHECK_EQ(n, w.dim(1));
   std::vector<double> inv_sqrt_deg(static_cast<size_t>(n), 0.0);
   for (int64_t i = 0; i < n; ++i) {
-    double degree = 0;
-    for (int64_t j = 0; j < n; ++j) degree += w.At2(i, j);
-    if (degree > 0) inv_sqrt_deg[static_cast<size_t>(i)] = 1.0 / std::sqrt(degree);
+    const double degree = deg[i];
+    if (degree > 0) {
+      inv_sqrt_deg[static_cast<size_t>(i)] = 1.0 / std::sqrt(degree);
+    }
   }
   Tensor l = Tensor::Identity(n);
   for (int64_t i = 0; i < n; ++i) {
@@ -60,6 +73,11 @@ Tensor ScaledLaplacian(const Tensor& laplacian, float lambda_max) {
   Tensor scaled = MulScalar(laplacian, 2.0f / lambda_max);
   for (int64_t i = 0; i < n; ++i) scaled.At2(i, i) -= 1.0f;
   return scaled;
+}
+
+std::shared_ptr<const GraphOperator> MakeScaledLaplacianOperator(
+    const Tensor& w, float lambda_max) {
+  return GraphOperator::Make(ScaledLaplacian(Laplacian(w), lambda_max));
 }
 
 }  // namespace odf

@@ -1,6 +1,9 @@
 #ifndef ODF_GRAPH_LAPLACIAN_H_
 #define ODF_GRAPH_LAPLACIAN_H_
 
+#include <memory>
+
+#include "tensor/csr.h"
 #include "tensor/tensor.h"
 
 namespace odf {
@@ -9,10 +12,11 @@ namespace odf {
 // Sec. V-A-2). All inputs are symmetric n×n weight matrices with zero
 // diagonal.
 
-/// Diagonal degree matrix D with D_ii = Σ_j W_ij.
-Tensor DegreeMatrix(const Tensor& w);
+/// Node degrees as a length-n vector: deg_i = Σ_j W_ij (accumulated in
+/// double). The dense diagonal matrix this replaces was O(n²) zeros.
+Tensor DegreeVector(const Tensor& w);
 
-/// Combinatorial Laplacian L = D − W.
+/// Combinatorial Laplacian L = D − W (D the diagonal degree matrix).
 Tensor Laplacian(const Tensor& w);
 
 /// Symmetric-normalized Laplacian L = I − D^{-1/2} W D^{-1/2}
@@ -25,6 +29,13 @@ float LaplacianMaxEigenvalue(const Tensor& laplacian);
 /// Chebyshev-scaled Laplacian L̂ = 2 L / λ_max − I (paper Eq. after (5)).
 /// If `lambda_max` <= 0 it is computed internally.
 Tensor ScaledLaplacian(const Tensor& laplacian, float lambda_max = -1.0f);
+
+/// Builds the shared graph operator for a proximity weight matrix `w`:
+/// L̂ = ScaledLaplacian(Laplacian(w)) held once in dense and CSR form, the
+/// compute path auto-selected from density (see tensor/csr.h). Every layer
+/// convolving the same graph should share the returned pointer.
+std::shared_ptr<const GraphOperator> MakeScaledLaplacianOperator(
+    const Tensor& w, float lambda_max = -1.0f);
 
 }  // namespace odf
 

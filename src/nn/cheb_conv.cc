@@ -1,26 +1,56 @@
 #include "nn/cheb_conv.h"
 
+#include <atomic>
+#include <utility>
+
 namespace odf::nn {
 
 namespace ag = odf::autograd;
 
+namespace {
+
+// Counts every L̂-application (sparse or dense) issued by ChebyshevStack.
+std::atomic<int64_t> g_graph_apply_count{0};
+
+}  // namespace
+
+int64_t GraphApplyCount() {
+  return g_graph_apply_count.load(std::memory_order_relaxed);
+}
+
+ag::Var ChebyshevStack(const std::shared_ptr<const GraphOperator>& op,
+                       const ag::Var& x, int64_t order) {
+  ODF_CHECK_GT(order, 0);
+  ODF_CHECK_EQ(x.rank(), 3);
+  ODF_CHECK_EQ(x.dim(1), op->nodes());
+  if (order == 1) return x;
+  // The fused basis op performs order−1 L̂-applications (one per tap past
+  // T_1) in a single tape node.
+  g_graph_apply_count.fetch_add(order - 1, std::memory_order_relaxed);
+  return ag::ChebyshevBasis(op, x, order);
+}
+
 ChebConv::ChebConv(Tensor scaled_laplacian, int64_t in_features,
                    int64_t out_features, int64_t order, Rng& rng,
                    bool with_bias)
+    : ChebConv(GraphOperator::Make(std::move(scaled_laplacian)), in_features,
+               out_features, order, rng, with_bias) {}
+
+ChebConv::ChebConv(std::shared_ptr<const GraphOperator> op,
+                   int64_t in_features, int64_t out_features, int64_t order,
+                   Rng& rng, bool with_bias)
     : in_features_(in_features),
       out_features_(out_features),
       order_(order),
       with_bias_(with_bias),
-      scaled_laplacian_(ag::Var::Constant(std::move(scaled_laplacian))),
+      op_(std::move(op)),
       theta_(RegisterParameter(Tensor::GlorotUniform(
           Shape({order * in_features, out_features}), rng))),
       bias_(with_bias
                 ? RegisterParameter(Tensor(Shape({out_features})))
                 : ag::Var::Constant(Tensor(Shape({out_features})))) {
   ODF_CHECK_GT(order, 0);
-  const Tensor& l = scaled_laplacian_.value();
-  ODF_CHECK_EQ(l.rank(), 2);
-  ODF_CHECK_EQ(l.dim(0), l.dim(1));
+  ODF_CHECK(op_ != nullptr);
 }
 
 ag::Var ChebConv::Forward(const ag::Var& x) const {
@@ -31,24 +61,7 @@ ag::Var ChebConv::Forward(const ag::Var& x) const {
   ODF_CHECK_EQ(input.dim(1), num_nodes());
   ODF_CHECK_EQ(input.dim(2), in_features_);
 
-  // Chebyshev recurrence on the node dimension.
-  std::vector<ag::Var> taps;
-  taps.reserve(static_cast<size_t>(order_));
-  taps.push_back(input);  // T_1 = X
-  if (order_ >= 2) {
-    taps.push_back(ag::BatchMatMul(scaled_laplacian_, input));  // T_2 = L̂X
-  }
-  for (int64_t s = 2; s < order_; ++s) {
-    // T_s = 2·L̂·T_{s-1} − T_{s-2}.
-    ag::Var next = ag::Sub(
-        ag::MulScalar(ag::BatchMatMul(scaled_laplacian_, taps.back()), 2.0f),
-        taps[static_cast<size_t>(s - 2)]);
-    taps.push_back(next);
-  }
-
-  // Stack taps on the feature axis, then a single weight multiply realizes
-  // Σ_s T_s Θ_s.
-  ag::Var stacked = taps.size() == 1 ? taps.front() : ag::Concat(taps, 2);
+  ag::Var stacked = ChebyshevStack(op_, input, order_);
   ag::Var out = ag::BatchMatMul(stacked, theta_);
   if (with_bias_) out = ag::Add(out, bias_);
   if (squeeze) out = ag::Reshape(out, {num_nodes(), out_features_});

@@ -1,22 +1,46 @@
 #include "nn/gcgru.h"
 
+#include <utility>
+
+#include "tensor/tensor_ops.h"
+
 namespace odf::nn {
 
 namespace ag = odf::autograd;
 
+namespace {
+
+// Reset and update gates stacked into one weight matrix [order·F, 2H].
+// Drawing each gate's block separately keeps the per-gate Glorot scale (and
+// the RNG stream) identical to two independent convolutions.
+Tensor StackedGateInit(int64_t order, int64_t in_features, int64_t hidden,
+                       Rng& rng) {
+  Tensor reset =
+      Tensor::GlorotUniform(Shape({order * in_features, hidden}), rng);
+  Tensor update =
+      Tensor::GlorotUniform(Shape({order * in_features, hidden}), rng);
+  return Concat({reset, update}, 1);
+}
+
+}  // namespace
+
 GcGruCell::GcGruCell(Tensor scaled_laplacian, int64_t input_features,
                      int64_t hidden_features, int64_t order, Rng& rng)
+    : GcGruCell(GraphOperator::Make(std::move(scaled_laplacian)),
+                input_features, hidden_features, order, rng) {}
+
+GcGruCell::GcGruCell(std::shared_ptr<const GraphOperator> op,
+                     int64_t input_features, int64_t hidden_features,
+                     int64_t order, Rng& rng)
     : input_features_(input_features),
       hidden_features_(hidden_features),
-      reset_conv_(scaled_laplacian, input_features + hidden_features,
-                  hidden_features, order, rng),
-      update_conv_(scaled_laplacian, input_features + hidden_features,
-                   hidden_features, order, rng),
-      candidate_conv_(std::move(scaled_laplacian),
-                      input_features + hidden_features, hidden_features,
+      order_(order),
+      op_(std::move(op)),
+      gates_theta_(RegisterParameter(StackedGateInit(
+          order, input_features + hidden_features, hidden_features, rng))),
+      gates_bias_(RegisterParameter(Tensor(Shape({2 * hidden_features})))),
+      candidate_conv_(op_, input_features + hidden_features, hidden_features,
                       order, rng) {
-  RegisterSubmodule(&reset_conv_);
-  RegisterSubmodule(&update_conv_);
   RegisterSubmodule(&candidate_conv_);
 }
 
@@ -26,8 +50,15 @@ ag::Var GcGruCell::Step(const ag::Var& x, const ag::Var& h) const {
   ODF_CHECK_EQ(x.dim(2), input_features_);
   ODF_CHECK_EQ(h.dim(2), hidden_features_);
   const ag::Var hx = ag::Concat({h, x}, 2);
-  const ag::Var reset = ag::Sigmoid(reset_conv_.Forward(hx));
-  const ag::Var update = ag::Sigmoid(update_conv_.Forward(hx));
+  // One Chebyshev basis over [h, x] feeds both gates through the stacked
+  // weight matrix; Slice splits the [B, n, 2H] pre-activations.
+  const ag::Var taps = ChebyshevStack(op_, hx, order_);
+  const ag::Var gates =
+      ag::Add(ag::BatchMatMul(taps, gates_theta_), gates_bias_);
+  const ag::Var reset =
+      ag::Sigmoid(ag::Slice(gates, 2, 0, hidden_features_));
+  const ag::Var update =
+      ag::Sigmoid(ag::Slice(gates, 2, hidden_features_, hidden_features_));
   const ag::Var gated = ag::Concat({ag::Mul(reset, h), x}, 2);
   const ag::Var candidate = ag::Tanh(candidate_conv_.Forward(gated));
   return ag::Add(ag::Mul(update, h),
@@ -41,22 +72,26 @@ ag::Var GcGruCell::InitialState(int64_t batch) const {
 
 Seq2SeqGcGru::Seq2SeqGcGru(Tensor scaled_laplacian, int64_t feature_size,
                            int64_t hidden_size, int64_t order, Rng& rng,
-                           int64_t num_layers) {
+                           int64_t num_layers)
+    : Seq2SeqGcGru(GraphOperator::Make(std::move(scaled_laplacian)),
+                   feature_size, hidden_size, order, rng, num_layers) {}
+
+Seq2SeqGcGru::Seq2SeqGcGru(std::shared_ptr<const GraphOperator> op,
+                           int64_t feature_size, int64_t hidden_size,
+                           int64_t order, Rng& rng, int64_t num_layers) {
   ODF_CHECK_GE(num_layers, 1);
   for (int64_t l = 0; l < num_layers; ++l) {
     encoder_layers_.push_back(std::make_unique<GcGruCell>(
-        scaled_laplacian, l == 0 ? feature_size : hidden_size, hidden_size,
-        order, rng));
+        op, l == 0 ? feature_size : hidden_size, hidden_size, order, rng));
     RegisterSubmodule(encoder_layers_.back().get());
   }
   for (int64_t l = 0; l < num_layers; ++l) {
     decoder_layers_.push_back(std::make_unique<GcGruCell>(
-        scaled_laplacian, l == 0 ? feature_size : hidden_size, hidden_size,
-        order, rng));
+        op, l == 0 ? feature_size : hidden_size, hidden_size, order, rng));
     RegisterSubmodule(decoder_layers_.back().get());
   }
-  output_head_ = std::make_unique<ChebConv>(
-      std::move(scaled_laplacian), hidden_size, feature_size, order, rng);
+  output_head_ = std::make_unique<ChebConv>(std::move(op), hidden_size,
+                                            feature_size, order, rng);
   RegisterSubmodule(output_head_.get());
 }
 

@@ -1,6 +1,7 @@
 #ifndef ODF_NN_GCGRU_H_
 #define ODF_NN_GCGRU_H_
 
+#include <memory>
 #include <vector>
 
 #include "nn/cheb_conv.h"
@@ -17,11 +18,21 @@ namespace odf::nn {
 ///   H̃^(t) = tanh(G_H ⊛ [S^(t) ⊙ H^(t-1), X^(t)] + b_H)
 ///   H^(t) = U^(t) ⊙ H^(t-1) + (1 − U^(t)) ⊙ H̃^(t)
 ///
+/// The reset and update gates convolve the same [H^(t-1), X^(t)] stack, so
+/// the cell computes the Chebyshev basis T_s(L̂)·[h, x] once and applies one
+/// stacked weight matrix [order·(F_in+H), 2H] for both gates; a Step
+/// therefore performs exactly 2·(order−1) L̂-applications (shared basis +
+/// candidate basis) instead of the naive 3·(order−1).
+///
 /// States and inputs are node-feature tensors [B, n, F].
 class GcGruCell : public Module {
  public:
   /// `scaled_laplacian` is the graph's L̂; `order` the Chebyshev order.
   GcGruCell(Tensor scaled_laplacian, int64_t input_features,
+            int64_t hidden_features, int64_t order, Rng& rng);
+
+  /// Shares `op` (dense + CSR L̂) with other cells/layers on the same graph.
+  GcGruCell(std::shared_ptr<const GraphOperator> op, int64_t input_features,
             int64_t hidden_features, int64_t order, Rng& rng);
 
   /// One step: x [B, n, F_in], h [B, n, F_hidden] -> [B, n, F_hidden].
@@ -30,26 +41,35 @@ class GcGruCell : public Module {
   /// Zero state [batch, n, hidden].
   autograd::Var InitialState(int64_t batch) const;
 
-  int64_t num_nodes() const { return reset_conv_.num_nodes(); }
+  int64_t num_nodes() const { return op_->nodes(); }
   int64_t input_features() const { return input_features_; }
   int64_t hidden_features() const { return hidden_features_; }
+  const std::shared_ptr<const GraphOperator>& graph_op() const { return op_; }
 
  private:
   int64_t input_features_;
   int64_t hidden_features_;
-  ChebConv reset_conv_;
-  ChebConv update_conv_;
+  int64_t order_;
+  std::shared_ptr<const GraphOperator> op_;
+  autograd::Var gates_theta_;  // [order·(F_in+H), 2H]: reset ∥ update
+  autograd::Var gates_bias_;   // [2H]
   ChebConv candidate_conv_;
 };
 
 /// Sequence-to-sequence CNRNN (paper Sec. V-B): encoder/decoder GcGru over
 /// node-feature sequences, with a ChebConv output head mapping hidden node
 /// features back to factor features. Autoregressive decoding (no latent
-/// ground truth exists for teacher forcing).
+/// ground truth exists for teacher forcing). All cells and the output head
+/// share one GraphOperator (a single dense + CSR copy of L̂).
 class Seq2SeqGcGru : public Module {
  public:
   /// `num_layers` stacks CNRNN cells (Table I's "CNRNN with n layers").
   Seq2SeqGcGru(Tensor scaled_laplacian, int64_t feature_size,
+               int64_t hidden_size, int64_t order, Rng& rng,
+               int64_t num_layers = 1);
+
+  /// Same, sharing an existing graph operator.
+  Seq2SeqGcGru(std::shared_ptr<const GraphOperator> op, int64_t feature_size,
                int64_t hidden_size, int64_t order, Rng& rng,
                int64_t num_layers = 1);
 
@@ -59,6 +79,9 @@ class Seq2SeqGcGru : public Module {
 
   int64_t num_layers() const {
     return static_cast<int64_t>(encoder_layers_.size());
+  }
+  const std::shared_ptr<const GraphOperator>& graph_op() const {
+    return encoder_layers_.front()->graph_op();
   }
 
  private:

@@ -1,0 +1,337 @@
+#include "tensor/csr.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "tensor/tensor_ops.h"
+#include "util/env_config.h"
+#include "util/thread_pool.h"
+
+namespace odf {
+namespace {
+
+// Feature-tile width of the SpMM kernel: the accumulator block lives in a
+// stack array (vector registers once the loop is unrolled), so each x-row
+// visit costs only loads and FMAs — no read-modify-write of the output.
+constexpr int64_t kFTile = 32;
+
+// Minimum multiply-adds per parallel chunk (same rationale as the dense
+// substrate's kElemGrain: below this the dispatch overhead dominates).
+constexpr int64_t kSpmmGrainFlops = 1 << 14;
+
+}  // namespace
+
+CsrMatrix CsrMatrix::FromDense(const Tensor& dense) {
+  ODF_CHECK_EQ(dense.rank(), 2);
+  CsrMatrix m;
+  m.rows_ = dense.dim(0);
+  m.cols_ = dense.dim(1);
+  ODF_CHECK_LE(m.cols_, static_cast<int64_t>(INT32_MAX));
+  m.row_ptr_.assign(static_cast<size_t>(m.rows_) + 1, 0);
+  const float* p = dense.data();
+  for (int64_t i = 0; i < m.rows_; ++i) {
+    const float* row = p + i * m.cols_;
+    for (int64_t j = 0; j < m.cols_; ++j) {
+      if (row[j] != 0.0f) {
+        m.col_idx_.push_back(static_cast<int32_t>(j));
+        m.values_.push_back(row[j]);
+      }
+    }
+    m.row_ptr_[static_cast<size_t>(i) + 1] =
+        static_cast<int64_t>(m.values_.size());
+  }
+  return m;
+}
+
+CsrMatrix CsrMatrix::Transpose() const {
+  CsrMatrix t;
+  t.rows_ = cols_;
+  t.cols_ = rows_;
+  t.row_ptr_.assign(static_cast<size_t>(t.rows_) + 1, 0);
+  t.col_idx_.resize(values_.size());
+  t.values_.resize(values_.size());
+  // Counting sort by column: a stable pass over the row-ordered input
+  // leaves each transposed row in ascending column order.
+  for (const int32_t j : col_idx_) ++t.row_ptr_[static_cast<size_t>(j) + 1];
+  for (size_t i = 1; i < t.row_ptr_.size(); ++i) {
+    t.row_ptr_[i] += t.row_ptr_[i - 1];
+  }
+  std::vector<int64_t> fill(t.row_ptr_.begin(), t.row_ptr_.end() - 1);
+  for (int64_t i = 0; i < rows_; ++i) {
+    for (int64_t idx = row_ptr_[static_cast<size_t>(i)];
+         idx < row_ptr_[static_cast<size_t>(i) + 1]; ++idx) {
+      const size_t j = static_cast<size_t>(col_idx_[static_cast<size_t>(idx)]);
+      const int64_t dst = fill[j]++;
+      t.col_idx_[static_cast<size_t>(dst)] = static_cast<int32_t>(i);
+      t.values_[static_cast<size_t>(dst)] = values_[static_cast<size_t>(idx)];
+    }
+  }
+  return t;
+}
+
+Tensor CsrMatrix::ToDense() const {
+  Tensor dense(Shape({rows_, cols_}));
+  for (int64_t i = 0; i < rows_; ++i) {
+    for (int64_t idx = row_ptr_[static_cast<size_t>(i)];
+         idx < row_ptr_[static_cast<size_t>(i) + 1]; ++idx) {
+      dense.At2(i, col_idx_[static_cast<size_t>(idx)]) =
+          values_[static_cast<size_t>(idx)];
+    }
+  }
+  return dense;
+}
+
+// How the row accumulator acc = Σ_j a[i,j]·x[b,j,:] lands in the output.
+enum class SpmmEpilogue {
+  kStore,        // out = acc
+  kChebCombine,  // out = 2·acc − other     (forward recurrence step)
+  kAddTwice,     // out += 2·acc            (reverse recurrence step)
+  kAddOther,     // out = acc + other       (final gradient combine)
+};
+
+// Core CSR × dense kernel over strided row views. `x`, `other` and `out`
+// address row (b, i) at base + (b·n + i)·ld — so a feature-column slice of a
+// larger tensor can be read or written in place (ld = the enclosing row
+// width). `other` is only dereferenced by the epilogues that use it.
+// Accumulation per output element is in ascending column order of `a`,
+// independent of thread count.
+template <SpmmEpilogue kEp>
+void SpmmTiled(const CsrMatrix& a, int64_t batch, int64_t f,
+               const float* x, int64_t ldx, const float* other,
+               int64_t ldother, float* out, int64_t ldo) {
+  if (f == 0 || batch == 0) return;
+  const int64_t rows = a.rows();
+  const int64_t cols = a.cols();
+  const int64_t* rp = a.row_ptr().data();
+  const int32_t* ci = a.col_idx().data();
+  const float* av = a.values().data();
+
+  const int64_t flops_per_row =
+      std::max<int64_t>(1, 2 * a.nnz() / std::max<int64_t>(1, rows) * f);
+  const int64_t grain = std::max<int64_t>(1, kSpmmGrainFlops / flops_per_row);
+  ParallelFor(batch * rows, grain, [&](int64_t t0, int64_t t1) {
+    float acc[kFTile];
+    for (int64_t t = t0; t < t1; ++t) {
+      const int64_t b = t / rows;
+      const int64_t i = t % rows;
+      const float* __restrict xb = x + b * cols * ldx;
+      float* __restrict orow = out + (b * rows + i) * ldo;
+      const float* __restrict vrow =
+          other != nullptr ? other + (b * rows + i) * ldother : nullptr;
+      const int64_t begin = rp[i];
+      const int64_t end = rp[i + 1];
+      for (int64_t f0 = 0; f0 < f; f0 += kFTile) {
+        const int64_t fw = std::min(kFTile, f - f0);
+        auto accumulate = [&](int64_t width) {
+          for (int64_t c = 0; c < width; ++c) acc[c] = 0.0f;
+          for (int64_t idx = begin; idx < end; ++idx) {
+            const float v = av[idx];
+            const float* __restrict xrow =
+                xb + static_cast<int64_t>(ci[idx]) * ldx + f0;
+            for (int64_t c = 0; c < width; ++c) acc[c] += v * xrow[c];
+          }
+          for (int64_t c = 0; c < width; ++c) {
+            if constexpr (kEp == SpmmEpilogue::kStore) {
+              orow[f0 + c] = acc[c];
+            } else if constexpr (kEp == SpmmEpilogue::kChebCombine) {
+              orow[f0 + c] = 2.0f * acc[c] - vrow[f0 + c];
+            } else if constexpr (kEp == SpmmEpilogue::kAddTwice) {
+              orow[f0 + c] += 2.0f * acc[c];
+            } else {
+              orow[f0 + c] = acc[c] + vrow[f0 + c];
+            }
+          }
+        };
+        if (fw == kFTile) {
+          // Full tile: compile-time trip count so the accumulators stay in
+          // vector registers across the whole row.
+          accumulate(kFTile);
+        } else {
+          accumulate(fw);
+        }
+      }
+    }
+  });
+}
+
+Tensor SpMM(const CsrMatrix& a, const Tensor& x) {
+  const bool squeeze = x.rank() == 2;
+  ODF_CHECK(x.rank() == 2 || x.rank() == 3);
+  const int64_t batch = squeeze ? 1 : x.dim(0);
+  const int64_t n = squeeze ? x.dim(0) : x.dim(1);
+  const int64_t f = squeeze ? x.dim(1) : x.dim(2);
+  ODF_CHECK_EQ(n, a.cols()) << "spmm " << a.rows() << "x" << a.cols()
+                            << " x " << x.shape().ToString();
+  Tensor out(squeeze ? Shape({a.rows(), f})
+                     : Shape({batch, a.rows(), f}));
+  if (a.nnz() == 0 || f == 0) return out;
+  SpmmTiled<SpmmEpilogue::kStore>(a, batch, f, x.data(), f, nullptr, 0,
+                                  out.data(), f);
+  return out;
+}
+
+namespace {
+
+// Row-wise strided copy: dst row (b·n + i)·ld_dst ⟵ src row (b·n + i)·ld_src,
+// f floats each.
+void CopyRows(int64_t rows, int64_t f, const float* src, int64_t ld_src,
+              float* dst, int64_t ld_dst) {
+  ParallelFor(rows, std::max<int64_t>(1, kSpmmGrainFlops / std::max<int64_t>(1, f)),
+              [&](int64_t t0, int64_t t1) {
+                for (int64_t t = t0; t < t1; ++t) {
+                  std::memcpy(dst + t * ld_dst, src + t * ld_src,
+                              static_cast<size_t>(f) * sizeof(float));
+                }
+              });
+}
+
+}  // namespace
+
+Tensor ChebyshevBasis(const GraphOperator& op, const Tensor& x,
+                      int64_t order) {
+  ODF_CHECK_GT(order, 0);
+  ODF_CHECK_EQ(x.rank(), 3);
+  const int64_t batch = x.dim(0);
+  const int64_t n = x.dim(1);
+  const int64_t f = x.dim(2);
+  ODF_CHECK_EQ(n, op.nodes());
+  Tensor out(Shape({batch, n, order * f}));
+  const int64_t ld = order * f;
+  float* po = out.data();
+  CopyRows(batch * n, f, x.data(), f, po, ld);  // T_1 = x
+  if (order == 1 || f == 0) return out;
+
+  if (op.use_sparse()) {
+    const CsrMatrix& a = op.csr();
+    // T_2 = L̂·T_1, then T_s = 2·L̂·T_{s-1} − T_{s-2}, every tap read from
+    // and written to its feature-column slice of `out` in place.
+    SpmmTiled<SpmmEpilogue::kStore>(a, batch, f, x.data(), f, nullptr, 0,
+                                    po + f, ld);
+    for (int64_t s = 2; s < order; ++s) {
+      SpmmTiled<SpmmEpilogue::kChebCombine>(a, batch, f, po + (s - 1) * f, ld,
+                                            po + (s - 2) * f, ld, po + s * f,
+                                            ld);
+    }
+    return out;
+  }
+
+  // Dense path: the blocked GEMM needs contiguous operands, so keep the two
+  // most recent taps in contiguous buffers and fuse the 2·(L̂T) − T_{s-2}
+  // combine with the write into the slice.
+  Tensor prev2 = x;                          // T_{s-2}, contiguous
+  Tensor prev = BatchMatMul(op.dense(), x);  // T_{s-1}, contiguous
+  CopyRows(batch * n, f, prev.data(), f, po + f, ld);
+  for (int64_t s = 2; s < order; ++s) {
+    const Tensor lt = BatchMatMul(op.dense(), prev);
+    Tensor cur(Shape({batch, n, f}));
+    const float* plt = lt.data();
+    const float* pp2 = prev2.data();
+    float* pc = cur.data();
+    ParallelFor(batch * n * f, kSpmmGrainFlops, [&](int64_t e0, int64_t e1) {
+      for (int64_t e = e0; e < e1; ++e) pc[e] = 2.0f * plt[e] - pp2[e];
+    });
+    CopyRows(batch * n, f, pc, f, po + s * f, ld);
+    prev2 = std::move(prev);
+    prev = std::move(cur);
+  }
+  return out;
+}
+
+Tensor ChebyshevBasisGrad(const GraphOperator& op, const Tensor& grad,
+                          int64_t order) {
+  ODF_CHECK_GT(order, 0);
+  ODF_CHECK_EQ(grad.rank(), 3);
+  const int64_t batch = grad.dim(0);
+  const int64_t n = grad.dim(1);
+  ODF_CHECK_EQ(n, op.nodes());
+  ODF_CHECK_EQ(grad.dim(2) % order, 0);
+  const int64_t f = grad.dim(2) / order;
+  if (order == 1) return grad;
+  const int64_t ld = order * f;
+  Tensor gx(Shape({batch, n, f}));
+  if (f == 0) return gx;
+
+  // Reverse recurrence over tap gradients G_s (slice s−1 of a working
+  // copy):  G_{s-1} += 2·L̂ᵀ·G_s,  G_{s-2} −= G_s  for s = order..3, then
+  // dX = G_1 + L̂ᵀ·G_2.
+  Tensor g = grad;
+  float* pg = g.data();
+
+  if (op.use_sparse()) {
+    const CsrMatrix& at = op.csr_transpose();
+    for (int64_t s = order; s >= 3; --s) {
+      SpmmTiled<SpmmEpilogue::kAddTwice>(at, batch, f, pg + (s - 1) * f, ld,
+                                         nullptr, 0, pg + (s - 2) * f, ld);
+      float* psub = pg + (s - 3) * f;
+      const float* pgs = pg + (s - 1) * f;
+      ParallelFor(batch * n, std::max<int64_t>(1, kSpmmGrainFlops / f),
+                  [&](int64_t t0, int64_t t1) {
+                    for (int64_t t = t0; t < t1; ++t) {
+                      for (int64_t c = 0; c < f; ++c) {
+                        psub[t * ld + c] -= pgs[t * ld + c];
+                      }
+                    }
+                  });
+    }
+    SpmmTiled<SpmmEpilogue::kAddOther>(at, batch, f, pg + f, ld, pg, ld,
+                                       gx.data(), f);
+    return gx;
+  }
+
+  // Dense path: contiguous copies of the slices feed the blocked GEMM.
+  auto slice_copy = [&](int64_t s) {
+    Tensor t(Shape({batch, n, f}));
+    CopyRows(batch * n, f, pg + s * f, ld, t.data(), f);
+    return t;
+  };
+  for (int64_t s = order; s >= 3; --s) {
+    const Tensor lt = BatchMatMul(op.dense_transpose(), slice_copy(s - 1));
+    const float* plt = lt.data();
+    float* padd = pg + (s - 2) * f;
+    float* psub = pg + (s - 3) * f;
+    const float* pgs = pg + (s - 1) * f;
+    ParallelFor(batch * n, std::max<int64_t>(1, kSpmmGrainFlops / f),
+                [&](int64_t t0, int64_t t1) {
+                  for (int64_t t = t0; t < t1; ++t) {
+                    for (int64_t c = 0; c < f; ++c) {
+                      padd[t * ld + c] += 2.0f * plt[t * f + c];
+                      psub[t * ld + c] -= pgs[t * ld + c];
+                    }
+                  }
+                });
+  }
+  const Tensor lt = BatchMatMul(op.dense_transpose(), slice_copy(1));
+  const Tensor g1 = slice_copy(0);
+  const float* plt = lt.data();
+  const float* pg1 = g1.data();
+  float* pgx = gx.data();
+  ParallelFor(batch * n * f, kSpmmGrainFlops, [&](int64_t e0, int64_t e1) {
+    for (int64_t e = e0; e < e1; ++e) pgx[e] = pg1[e] + plt[e];
+  });
+  return gx;
+}
+
+std::shared_ptr<const GraphOperator> GraphOperator::Make(Tensor dense,
+                                                         int force_sparse) {
+  ODF_CHECK_EQ(dense.rank(), 2);
+  ODF_CHECK_EQ(dense.dim(0), dense.dim(1));
+  auto op = std::shared_ptr<GraphOperator>(new GraphOperator());
+  op->dense_ = std::move(dense);
+  op->csr_ = CsrMatrix::FromDense(op->dense_);
+  op->csr_t_ = op->csr_.Transpose();
+  op->dense_t_ = Transpose2D(op->dense_);
+  int mode = force_sparse;
+  if (mode < 0) {
+    mode = static_cast<int>(GetEnvInt("ODF_SPARSE_GRAPH", -1));
+  }
+  if (mode == 0) {
+    op->use_sparse_ = false;
+  } else if (mode >= 1) {
+    op->use_sparse_ = true;
+  } else {
+    op->use_sparse_ = op->csr_.Density() <= kSparseDensityThreshold;
+  }
+  return op;
+}
+
+}  // namespace odf

@@ -1,0 +1,118 @@
+#ifndef ODF_TENSOR_CSR_H_
+#define ODF_TENSOR_CSR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace odf {
+
+/// Compressed-sparse-row form of a rank-2 float matrix.
+///
+/// The α-thresholded Gaussian proximity matrices of the paper (and the
+/// Laplacians derived from them) are sparse by construction; this is the
+/// storage the sparse graph compute path runs on. Rows are stored in
+/// ascending column order, so every kernel that walks a row accumulates in
+/// a fixed order regardless of thread count.
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Extracts the exact non-zeros of a dense rank-2 tensor.
+  static CsrMatrix FromDense(const Tensor& dense);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t nnz() const { return static_cast<int64_t>(values_.size()); }
+
+  /// nnz / (rows · cols); 0 for an empty matrix.
+  double Density() const {
+    const int64_t total = rows_ * cols_;
+    return total == 0 ? 0.0 : static_cast<double>(nnz()) / total;
+  }
+
+  /// The transposed matrix (columns become rows, still column-ordered).
+  CsrMatrix Transpose() const;
+
+  /// Densifies (tests and debugging).
+  Tensor ToDense() const;
+
+  /// Row i occupies [row_ptr()[i], row_ptr()[i+1]) of col_idx()/values().
+  const std::vector<int64_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<int32_t>& col_idx() const { return col_idx_; }
+  const std::vector<float>& values() const { return values_; }
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<int64_t> row_ptr_;  // size rows + 1
+  std::vector<int32_t> col_idx_;  // size nnz
+  std::vector<float> values_;     // size nnz
+};
+
+/// Sparse × dense product over the node dimension:
+///   out[b, i, f] = Σ_j a[i, j] · x[b, j, f]
+/// for x of shape [B, n, F] (or [n, F], treated as batch 1 and returned
+/// rank-2), with n == a.cols(). Parallel over batch × output rows; each
+/// output element accumulates a's row in ascending column order, so results
+/// are bit-identical for every thread count.
+Tensor SpMM(const CsrMatrix& a, const Tensor& x);
+
+class GraphOperator;
+
+/// Fused Chebyshev basis of a graph operator: for x [B, n, F] computes all
+/// `order` taps of the recurrence T_1 = x, T_2 = L̂x, T_s = 2·L̂·T_{s-1} −
+/// T_{s-2} directly into one [B, n, order·F] tensor (tap s occupies feature
+/// columns [s·F, (s+1)·F)). One kernel launch per tap — no intermediate
+/// tensors, concat or elementwise passes — on the CSR or dense path chosen
+/// by `op`. Deterministic for every thread count.
+Tensor ChebyshevBasis(const GraphOperator& op, const Tensor& x, int64_t order);
+
+/// Adjoint of ChebyshevBasis: given dY [B, n, order·F], returns dX [B, n, F]
+/// by running the recurrence in reverse with L̂ᵀ.
+Tensor ChebyshevBasisGrad(const GraphOperator& op, const Tensor& grad,
+                          int64_t order);
+
+/// A constant square matrix operand — the scaled graph Laplacian L̂ — held
+/// in both dense and CSR form (plus both transposes) behind one shared
+/// instance, with the compute path chosen once at construction. Every
+/// encoder/decoder cell and output head applying the same graph shares one
+/// GraphOperator instead of carrying its own dense copy.
+///
+/// Path selection: `force_sparse` > the ODF_SPARSE_GRAPH environment
+/// variable (0 = dense, 1 = sparse) > automatic (sparse iff density ≤
+/// kSparseDensityThreshold).
+class GraphOperator {
+ public:
+  /// Above this density the dense blocked GEMM outruns the CSR kernel.
+  static constexpr double kSparseDensityThreshold = 0.25;
+
+  /// `force_sparse`: -1 = auto (env override, then density), 0 = dense,
+  /// 1 = sparse.
+  static std::shared_ptr<const GraphOperator> Make(Tensor dense,
+                                                   int force_sparse = -1);
+
+  int64_t nodes() const { return dense_.dim(0); }
+  double density() const { return csr_.Density(); }
+  bool use_sparse() const { return use_sparse_; }
+
+  const Tensor& dense() const { return dense_; }
+  const Tensor& dense_transpose() const { return dense_t_; }
+  const CsrMatrix& csr() const { return csr_; }
+  const CsrMatrix& csr_transpose() const { return csr_t_; }
+
+ private:
+  GraphOperator() = default;
+
+  Tensor dense_;    // n×n
+  Tensor dense_t_;  // n×n, transpose
+  CsrMatrix csr_;
+  CsrMatrix csr_t_;
+  bool use_sparse_ = false;
+};
+
+}  // namespace odf
+
+#endif  // ODF_TENSOR_CSR_H_

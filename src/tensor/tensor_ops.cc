@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "tensor/fast_math.h"
 #include "util/thread_pool.h"
 
 namespace odf {
@@ -101,25 +102,29 @@ void PackBTile(const float* b, int64_t k, int64_t n, int64_t jt, float* buf) {
   }
 }
 
-// C[kMR, kNR] += Apack_strip[depth, kMR] * Bpack_tile[depth, kNR]; the
-// full-tile case has compile-time bounds so the j loops vectorize and the
-// kMR*kNR accumulator block lives in vector registers.
+// C[kMR, W] += Apack_strip[depth, kMR] * Bpack_tile[depth, kNR]; compile-time
+// bounds let the j loops vectorize and keep the kMR*W accumulator block in
+// vector registers. W is the live tile width: kNR for interior tiles, and a
+// narrower power-of-two (kNR/2, kNR/4) for n % kNR column remainders so that
+// common skinny outputs (e.g. n = 16 with kNR = 32) do not fall back to the
+// runtime-bounded edge kernel. B panel rows keep their kNR stride.
+template <int64_t W>
 void MicroKernelFull(const float* ap, const float* bp, float* c, int64_t ldc,
                      int64_t depth) {
-  float acc[kMR * kNR];
+  float acc[kMR * W];
   for (int64_t r = 0; r < kMR; ++r) {
-    for (int64_t j = 0; j < kNR; ++j) acc[r * kNR + j] = c[r * ldc + j];
+    for (int64_t j = 0; j < W; ++j) acc[r * W + j] = c[r * ldc + j];
   }
   for (int64_t kk = 0; kk < depth; ++kk) {
     const float* brow = bp + kk * kNR;
     const float* astrip = ap + kk * kMR;
     for (int64_t r = 0; r < kMR; ++r) {
       const float av = astrip[r];
-      for (int64_t j = 0; j < kNR; ++j) acc[r * kNR + j] += av * brow[j];
+      for (int64_t j = 0; j < W; ++j) acc[r * W + j] += av * brow[j];
     }
   }
   for (int64_t r = 0; r < kMR; ++r) {
-    for (int64_t j = 0; j < kNR; ++j) c[r * ldc + j] = acc[r * kNR + j];
+    for (int64_t j = 0; j < W; ++j) c[r * ldc + j] = acc[r * W + j];
   }
 }
 
@@ -166,7 +171,11 @@ void GemmRows(const float* pa, const float* bpack, float* po, int64_t k,
           float* c = po + (ib + s * kMR) * n + j0;
           const int64_t mr = std::min(kMR, rows - s * kMR);
           if (mr == kMR && nr == kNR) {
-            MicroKernelFull(ap, bpanel, c, n, depth);
+            MicroKernelFull<kNR>(ap, bpanel, c, n, depth);
+          } else if (mr == kMR && nr == kNR / 2 && kNR / 2 >= 8) {
+            MicroKernelFull<kNR / 2>(ap, bpanel, c, n, depth);
+          } else if (mr == kMR && nr == kNR / 4 && kNR / 4 >= 8) {
+            MicroKernelFull<kNR / 4>(ap, bpanel, c, n, depth);
           } else {
             MicroKernelEdge(ap, bpanel, c, n, depth, mr, nr);
           }
@@ -362,7 +371,7 @@ Tensor Neg(const Tensor& a) {
   return Unary(a, [](float x) { return -x; });
 }
 Tensor Exp(const Tensor& a) {
-  return Unary(a, [](float x) { return std::exp(x); });
+  return Unary(a, [](float x) { return FastExp(x); });
 }
 Tensor Log(const Tensor& a) {
   return Unary(a, [](float x) { return std::log(x); });
@@ -371,10 +380,10 @@ Tensor Sqrt(const Tensor& a) {
   return Unary(a, [](float x) { return std::sqrt(x); });
 }
 Tensor Tanh(const Tensor& a) {
-  return Unary(a, [](float x) { return std::tanh(x); });
+  return Unary(a, [](float x) { return FastTanh(x); });
 }
 Tensor Sigmoid(const Tensor& a) {
-  return Unary(a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+  return Unary(a, [](float x) { return FastSigmoid(x); });
 }
 Tensor Relu(const Tensor& a) {
   return Unary(a, [](float x) { return x > 0 ? x : 0.0f; });
@@ -757,7 +766,7 @@ Tensor SoftmaxLastDim(const Tensor& a) {
       for (int64_t i = 1; i < inner; ++i) max_v = std::max(max_v, src[i]);
       float total = 0;
       for (int64_t i = 0; i < inner; ++i) {
-        dst[i] = std::exp(src[i] - max_v);
+        dst[i] = FastExp(src[i] - max_v);
         total += dst[i];
       }
       const float inv = 1.0f / total;

@@ -263,7 +263,9 @@ TEST(GcGruTest, GateParameterGradCheck) {
   ag::Var x = ag::Var::Constant(
       Tensor::RandomNormal(Shape({1, 3, 1}), rng, 0.0f, 0.5f));
   std::vector<ag::Var> inputs = cell.Parameters();
-  ASSERT_EQ(inputs.size(), 6u);  // 3 gate convolutions × (weights + bias)
+  // Fused reset∥update gate (weights + bias) + candidate conv (weights +
+  // bias).
+  ASSERT_EQ(inputs.size(), 4u);
   auto fn = [&](const std::vector<ag::Var>&) {
     ag::Var h = cell.InitialState(1);
     h = cell.Step(x, h);

@@ -1,10 +1,14 @@
 #include "tensor/tensor.h"
 
+#include <bit>
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
+#include "tensor/fast_math.h"
 #include "tensor/tensor_ops.h"
+#include "util/rng.h"
 
 namespace odf {
 namespace {
@@ -252,6 +256,56 @@ TEST(TensorOpsTest, SquaredNormAndMinMax) {
   EXPECT_FLOAT_EQ(SquaredNorm(a), 9.0f);
   EXPECT_FLOAT_EQ(MaxValue(a), 2.0f);
   EXPECT_FLOAT_EQ(MinValue(a), -2.0f);
+}
+
+// Both arguments must be positive normal floats (true for exp results over
+// the sweep range), so ULP distance is plain bit-pattern distance.
+int64_t UlpDistance(float a, float b) {
+  const int64_t ia = std::bit_cast<int32_t>(a);
+  const int64_t ib = std::bit_cast<int32_t>(b);
+  return ia > ib ? ia - ib : ib - ia;
+}
+
+TEST(FastMathTest, ExpWithinUlpBoundOfStdExp) {
+  // Dense sweep of the non-saturating range plus random draws; the kernel
+  // documents a max-ULP contract against libm.
+  int64_t worst = 0;
+  for (float x = -87.0f; x <= 88.0f; x += 1.0f / 128.0f) {
+    const float got = FastExp(x);
+    const float want = std::exp(x);
+    const int64_t ulp = UlpDistance(got, want);
+    ASSERT_LE(ulp, kFastExpMaxUlp) << "x=" << x << " got " << got << " want "
+                                   << want;
+    worst = std::max(worst, ulp);
+  }
+  Rng rng(31);
+  for (int i = 0; i < 20000; ++i) {
+    const float x = static_cast<float>(rng.Uniform(-87.0, 88.0));
+    ASSERT_LE(UlpDistance(FastExp(x), std::exp(x)), kFastExpMaxUlp)
+        << "x=" << x;
+  }
+  EXPECT_GT(worst, 0);  // the sweep actually exercised inexact cases
+}
+
+TEST(FastMathTest, ExpSaturationAndSpecialValues) {
+  EXPECT_EQ(FastExp(0.0f), 1.0f);
+  EXPECT_EQ(FastExp(89.0f), std::numeric_limits<float>::infinity());
+  EXPECT_EQ(FastExp(1000.0f), std::numeric_limits<float>::infinity());
+  EXPECT_EQ(FastExp(-88.0f), 0.0f);
+  EXPECT_EQ(FastExp(-std::numeric_limits<float>::infinity()), 0.0f);
+  EXPECT_TRUE(std::isnan(FastExp(std::nanf(""))));
+}
+
+TEST(FastMathTest, SigmoidAndTanhMatchLibm) {
+  for (float x = -12.0f; x <= 12.0f; x += 1.0f / 64.0f) {
+    EXPECT_NEAR(FastSigmoid(x), 1.0f / (1.0f + std::exp(-x)), 2e-7f)
+        << "x=" << x;
+    EXPECT_NEAR(FastTanh(x), std::tanh(x), 4e-7f) << "x=" << x;
+  }
+  EXPECT_EQ(FastTanh(0.0f), 0.0f);
+  EXPECT_EQ(FastTanh(20.0f), 1.0f);
+  EXPECT_EQ(FastTanh(-20.0f), -1.0f);
+  EXPECT_TRUE(std::isnan(FastTanh(std::nanf(""))));
 }
 
 }  // namespace
