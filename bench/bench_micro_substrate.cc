@@ -36,6 +36,7 @@
 #include "util/env_config.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace odf {
 namespace {
@@ -569,14 +570,39 @@ BENCHMARK(BM_TripGeneration);
 }  // namespace odf
 
 int main(int argc, char** argv) {
+  // --trace[=path]: capture every benchmarked kernel as a Chrome-trace span
+  // set (load the file in chrome://tracing or ui.perfetto.dev). Filtered out
+  // before google-benchmark sees the arguments.
+  std::string trace_path;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace") {
+      trace_path = "BENCH_trace.json";
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(std::string("--trace=").size());
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  if (!trace_path.empty() && !odf::TraceEnabled()) {
+    odf::Tracer::Global().Start(trace_path);
+  }
+
+  int rc = 0;
   if (odf::GetEnvBool("ODF_GBENCH", false)) {
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
-    return 0;
+  } else {
+    const int substrate_rc = odf::RunSubstrateSweep();
+    const int graph_rc = odf::RunGraphSweep();
+    rc = substrate_rc != 0 ? substrate_rc : graph_rc;
   }
-  const int substrate_rc = odf::RunSubstrateSweep();
-  const int graph_rc = odf::RunGraphSweep();
-  return substrate_rc != 0 ? substrate_rc : graph_rc;
+  if (!trace_path.empty() && odf::Tracer::Global().Stop()) {
+    std::printf("trace written to %s\n", trace_path.c_str());
+  }
+  return rc;
 }

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/trace.h"
+
 namespace odf::autograd {
 
 namespace {
@@ -42,8 +44,9 @@ Tensor ApplyMatrixAlongAxis(const Tensor& m, const Tensor& x, int64_t axis) {
 }  // namespace
 
 Var Add(const Var& a, const Var& b) {
+  ODF_TRACE_SCOPE("fwd/", "Add", "fwd");
   Tensor out = odf::Add(a.value(), b.value());
-  return MakeOpVar(std::move(out), {a, b}, [](Node& node) {
+  return MakeOpVar("Add", std::move(out), {a, b}, [](Node& node) {
     if (node.parents[0]->requires_grad) {
       node.parents[0]->AccumulateGrad(
           ReduceToShape(node.grad, node.parents[0]->value.shape()));
@@ -56,8 +59,9 @@ Var Add(const Var& a, const Var& b) {
 }
 
 Var Sub(const Var& a, const Var& b) {
+  ODF_TRACE_SCOPE("fwd/", "Sub", "fwd");
   Tensor out = odf::Sub(a.value(), b.value());
-  return MakeOpVar(std::move(out), {a, b}, [](Node& node) {
+  return MakeOpVar("Sub", std::move(out), {a, b}, [](Node& node) {
     if (node.parents[0]->requires_grad) {
       node.parents[0]->AccumulateGrad(
           ReduceToShape(node.grad, node.parents[0]->value.shape()));
@@ -70,8 +74,9 @@ Var Sub(const Var& a, const Var& b) {
 }
 
 Var Mul(const Var& a, const Var& b) {
+  ODF_TRACE_SCOPE("fwd/", "Mul", "fwd");
   Tensor out = odf::Mul(a.value(), b.value());
-  return MakeOpVar(std::move(out), {a, b}, [](Node& node) {
+  return MakeOpVar("Mul", std::move(out), {a, b}, [](Node& node) {
     if (node.parents[0]->requires_grad) {
       node.parents[0]->AccumulateGrad(
           ReduceToShape(odf::Mul(node.grad, node.parents[1]->value),
@@ -86,13 +91,15 @@ Var Mul(const Var& a, const Var& b) {
 }
 
 Var AddScalar(const Var& a, float s) {
-  return MakeOpVar(odf::AddScalar(a.value(), s), {a}, [](Node& node) {
+  ODF_TRACE_SCOPE("fwd/", "AddScalar", "fwd");
+  return MakeOpVar("AddScalar", odf::AddScalar(a.value(), s), {a}, [](Node& node) {
     node.parents[0]->AccumulateGrad(node.grad);
   });
 }
 
 Var MulScalar(const Var& a, float s) {
-  return MakeOpVar(odf::MulScalar(a.value(), s), {a}, [s](Node& node) {
+  ODF_TRACE_SCOPE("fwd/", "MulScalar", "fwd");
+  return MakeOpVar("MulScalar", odf::MulScalar(a.value(), s), {a}, [s](Node& node) {
     node.parents[0]->AccumulateGrad(odf::MulScalar(node.grad, s));
   });
 }
@@ -102,8 +109,9 @@ Var Neg(const Var& a) { return MulScalar(a, -1.0f); }
 Var Square(const Var& a) { return Mul(a, a); }
 
 Var MatMul(const Var& a, const Var& b) {
+  ODF_TRACE_SCOPE("fwd/", "MatMul", "fwd");
   Tensor out = odf::MatMul(a.value(), b.value());
-  return MakeOpVar(std::move(out), {a, b}, [](Node& node) {
+  return MakeOpVar("MatMul", std::move(out), {a, b}, [](Node& node) {
     const Tensor& av = node.parents[0]->value;
     const Tensor& bv = node.parents[1]->value;
     if (node.parents[0]->requires_grad) {
@@ -118,8 +126,9 @@ Var MatMul(const Var& a, const Var& b) {
 }
 
 Var BatchMatMul(const Var& a, const Var& b) {
+  ODF_TRACE_SCOPE("fwd/", "BatchMatMul", "fwd");
   Tensor out = odf::BatchMatMul(a.value(), b.value());
-  return MakeOpVar(std::move(out), {a, b}, [](Node& node) {
+  return MakeOpVar("BatchMatMul", std::move(out), {a, b}, [](Node& node) {
     const Tensor& av = node.parents[0]->value;
     const Tensor& bv = node.parents[1]->value;
     if (node.parents[0]->requires_grad) {
@@ -136,11 +145,12 @@ Var BatchMatMul(const Var& a, const Var& b) {
 }
 
 Var SpMM(std::shared_ptr<const GraphOperator> op, const Var& x) {
+  ODF_TRACE_SCOPE("fwd/", "SpMM", "fwd");
   ODF_CHECK(x.rank() == 2 || x.rank() == 3);
   ODF_CHECK_EQ(x.dim(x.rank() - 2), op->nodes());
   Tensor out = op->use_sparse() ? odf::SpMM(op->csr(), x.value())
                                 : odf::BatchMatMul(op->dense(), x.value());
-  return MakeOpVar(std::move(out), {x}, [op](Node& node) {
+  return MakeOpVar("SpMM", std::move(out), {x}, [op](Node& node) {
     Tensor dx = op->use_sparse()
                     ? odf::SpMM(op->csr_transpose(), node.grad)
                     : odf::BatchMatMul(op->dense_transpose(), node.grad);
@@ -150,24 +160,27 @@ Var SpMM(std::shared_ptr<const GraphOperator> op, const Var& x) {
 
 Var ChebyshevBasis(std::shared_ptr<const GraphOperator> op, const Var& x,
                    int64_t order) {
+  ODF_TRACE_SCOPE("fwd/", "ChebyshevBasis", "fwd");
   ODF_CHECK_EQ(x.rank(), 3);
   ODF_CHECK_EQ(x.dim(1), op->nodes());
   Tensor out = odf::ChebyshevBasis(*op, x.value(), order);
-  return MakeOpVar(std::move(out), {x}, [op, order](Node& node) {
+  return MakeOpVar("ChebyshevBasis", std::move(out), {x}, [op, order](Node& node) {
     node.parents[0]->AccumulateGrad(
         odf::ChebyshevBasisGrad(*op, node.grad, order));
   });
 }
 
 Var Reshape(const Var& a, std::vector<int64_t> dims) {
+  ODF_TRACE_SCOPE("fwd/", "Reshape", "fwd");
   Tensor out = a.value().Reshape(std::move(dims));
-  return MakeOpVar(std::move(out), {a}, [](Node& node) {
+  return MakeOpVar("Reshape", std::move(out), {a}, [](Node& node) {
     node.parents[0]->AccumulateGrad(
         node.grad.Reshape(node.parents[0]->value.shape().dims()));
   });
 }
 
 Var Concat(const std::vector<Var>& parts, int64_t axis) {
+  ODF_TRACE_SCOPE("fwd/", "Concat", "fwd");
   ODF_CHECK(!parts.empty());
   std::vector<Tensor> values;
   values.reserve(parts.size());
@@ -175,7 +188,7 @@ Var Concat(const std::vector<Var>& parts, int64_t axis) {
   const int64_t resolved =
       axis < 0 ? axis + parts.front().rank() : axis;
   Tensor out = odf::Concat(values, resolved);
-  return MakeOpVar(std::move(out), parts, [resolved](Node& node) {
+  return MakeOpVar("Concat", std::move(out), parts, [resolved](Node& node) {
     int64_t offset = 0;
     for (auto& parent : node.parents) {
       const int64_t len = parent->value.dim(resolved);
@@ -189,9 +202,10 @@ Var Concat(const std::vector<Var>& parts, int64_t axis) {
 }
 
 Var Slice(const Var& a, int64_t axis, int64_t start, int64_t len) {
+  ODF_TRACE_SCOPE("fwd/", "Slice", "fwd");
   const int64_t resolved = axis < 0 ? axis + a.rank() : axis;
   Tensor out = odf::Slice(a.value(), resolved, start, len);
-  return MakeOpVar(std::move(out), {a}, [resolved, start, len](Node& node) {
+  return MakeOpVar("Slice", std::move(out), {a}, [resolved, start, len](Node& node) {
     const Tensor& pv = node.parents[0]->value;
     Tensor grad(pv.shape());
     int64_t outer = 1;
@@ -210,17 +224,19 @@ Var Slice(const Var& a, int64_t axis, int64_t start, int64_t len) {
 }
 
 Var TransposeLast2(const Var& a) {
-  return MakeOpVar(odf::TransposeLast2(a.value()), {a}, [](Node& node) {
+  ODF_TRACE_SCOPE("fwd/", "TransposeLast2", "fwd");
+  return MakeOpVar("TransposeLast2", odf::TransposeLast2(a.value()), {a}, [](Node& node) {
     node.parents[0]->AccumulateGrad(odf::TransposeLast2(node.grad));
   });
 }
 
 Var Permute(const Var& a, const std::vector<int64_t>& perm) {
+  ODF_TRACE_SCOPE("fwd/", "Permute", "fwd");
   std::vector<int64_t> inverse(perm.size());
   for (size_t i = 0; i < perm.size(); ++i) {
     inverse[static_cast<size_t>(perm[i])] = static_cast<int64_t>(i);
   }
-  return MakeOpVar(odf::Permute(a.value(), perm), {a},
+  return MakeOpVar("Permute", odf::Permute(a.value(), perm), {a},
                    [inverse](Node& node) {
                      node.parents[0]->AccumulateGrad(
                          odf::Permute(node.grad, inverse));
@@ -228,8 +244,9 @@ Var Permute(const Var& a, const std::vector<int64_t>& perm) {
 }
 
 Var Sigmoid(const Var& a) {
+  ODF_TRACE_SCOPE("fwd/", "Sigmoid", "fwd");
   Tensor out = odf::Sigmoid(a.value());
-  return MakeOpVar(std::move(out), {a}, [](Node& node) {
+  return MakeOpVar("Sigmoid", std::move(out), {a}, [](Node& node) {
     Tensor d(node.value.shape());
     const int64_t n = node.value.numel();
     for (int64_t i = 0; i < n; ++i) {
@@ -241,8 +258,9 @@ Var Sigmoid(const Var& a) {
 }
 
 Var Tanh(const Var& a) {
+  ODF_TRACE_SCOPE("fwd/", "Tanh", "fwd");
   Tensor out = odf::Tanh(a.value());
-  return MakeOpVar(std::move(out), {a}, [](Node& node) {
+  return MakeOpVar("Tanh", std::move(out), {a}, [](Node& node) {
     Tensor d(node.value.shape());
     const int64_t n = node.value.numel();
     for (int64_t i = 0; i < n; ++i) {
@@ -254,8 +272,9 @@ Var Tanh(const Var& a) {
 }
 
 Var Relu(const Var& a) {
+  ODF_TRACE_SCOPE("fwd/", "Relu", "fwd");
   Tensor out = odf::Relu(a.value());
-  return MakeOpVar(std::move(out), {a}, [](Node& node) {
+  return MakeOpVar("Relu", std::move(out), {a}, [](Node& node) {
     const Tensor& x = node.parents[0]->value;
     Tensor d(x.shape());
     const int64_t n = x.numel();
@@ -267,15 +286,17 @@ Var Relu(const Var& a) {
 }
 
 Var Exp(const Var& a) {
+  ODF_TRACE_SCOPE("fwd/", "Exp", "fwd");
   Tensor out = odf::Exp(a.value());
-  return MakeOpVar(std::move(out), {a}, [](Node& node) {
+  return MakeOpVar("Exp", std::move(out), {a}, [](Node& node) {
     node.parents[0]->AccumulateGrad(odf::Mul(node.grad, node.value));
   });
 }
 
 Var LogEps(const Var& a, float eps) {
+  ODF_TRACE_SCOPE("fwd/", "LogEps", "fwd");
   Tensor out = odf::Log(odf::AddScalar(a.value(), eps));
-  return MakeOpVar(std::move(out), {a}, [eps](Node& node) {
+  return MakeOpVar("LogEps", std::move(out), {a}, [eps](Node& node) {
     const Tensor& x = node.parents[0]->value;
     Tensor d(x.shape());
     const int64_t n = x.numel();
@@ -285,8 +306,9 @@ Var LogEps(const Var& a, float eps) {
 }
 
 Var SoftmaxLastDim(const Var& a) {
+  ODF_TRACE_SCOPE("fwd/", "SoftmaxLastDim", "fwd");
   Tensor out = odf::SoftmaxLastDim(a.value());
-  return MakeOpVar(std::move(out), {a}, [](Node& node) {
+  return MakeOpVar("SoftmaxLastDim", std::move(out), {a}, [](Node& node) {
     // dx = y ⊙ (g − Σ_last(g ⊙ y)).
     const Tensor gy = odf::Mul(node.grad, node.value);
     const Tensor sum = odf::Sum(gy, -1, /*keepdim=*/true);
@@ -296,24 +318,27 @@ Var SoftmaxLastDim(const Var& a) {
 }
 
 Var SumAll(const Var& a) {
-  return MakeOpVar(odf::SumAll(a.value()), {a}, [](Node& node) {
+  ODF_TRACE_SCOPE("fwd/", "SumAll", "fwd");
+  return MakeOpVar("SumAll", odf::SumAll(a.value()), {a}, [](Node& node) {
     node.parents[0]->AccumulateGrad(
         Tensor::Full(node.parents[0]->value.shape(), node.grad[0]));
   });
 }
 
 Var MeanAll(const Var& a) {
+  ODF_TRACE_SCOPE("fwd/", "MeanAll", "fwd");
   const float inv = 1.0f / static_cast<float>(a.value().numel());
-  return MakeOpVar(odf::MeanAll(a.value()), {a}, [inv](Node& node) {
+  return MakeOpVar("MeanAll", odf::MeanAll(a.value()), {a}, [inv](Node& node) {
     node.parents[0]->AccumulateGrad(Tensor::Full(
         node.parents[0]->value.shape(), node.grad[0] * inv));
   });
 }
 
 Var SumAxis(const Var& a, int64_t axis, bool keepdim) {
+  ODF_TRACE_SCOPE("fwd/", "SumAxis", "fwd");
   const int64_t resolved = axis < 0 ? axis + a.rank() : axis;
   Tensor out = odf::Sum(a.value(), resolved, keepdim);
-  return MakeOpVar(std::move(out), {a}, [resolved](Node& node) {
+  return MakeOpVar("SumAxis", std::move(out), {a}, [resolved](Node& node) {
     const Tensor& pv = node.parents[0]->value;
     Tensor grad(pv.shape());
     int64_t outer = 1;
@@ -334,6 +359,7 @@ Var SumAxis(const Var& a, int64_t axis, bool keepdim) {
 }
 
 Var Dropout(const Var& a, float p, bool train, Rng& rng) {
+  ODF_TRACE_SCOPE("fwd/", "Dropout", "fwd");
   if (!train || p <= 0.0f) return a;
   ODF_CHECK_LT(p, 1.0f);
   const float scale = 1.0f / (1.0f - p);
@@ -342,13 +368,14 @@ Var Dropout(const Var& a, float p, bool train, Rng& rng) {
     mask[i] = rng.Bernoulli(p) ? 0.0f : scale;
   }
   Tensor out = odf::Mul(a.value(), mask);
-  return MakeOpVar(std::move(out), {a}, [mask](Node& node) {
+  return MakeOpVar("Dropout", std::move(out), {a}, [mask](Node& node) {
     node.parents[0]->AccumulateGrad(odf::Mul(node.grad, mask));
   });
 }
 
 Var MaskedSquaredError(const Var& pred, const Tensor& target,
                        const Tensor& mask, float normalizer) {
+  ODF_TRACE_SCOPE("fwd/", "MaskedSquaredError", "fwd");
   ODF_CHECK(pred.shape() == target.shape());
   ODF_CHECK(pred.shape() == mask.shape());
   ODF_CHECK_GT(normalizer, 0.0f);
@@ -359,7 +386,7 @@ Var MaskedSquaredError(const Var& pred, const Tensor& target,
     total += mask[i] * diff * diff;
   }
   Tensor out = Tensor::Scalar(static_cast<float>(total / normalizer));
-  return MakeOpVar(std::move(out), {pred},
+  return MakeOpVar("MaskedSquaredError", std::move(out), {pred},
                    [target, mask, normalizer](Node& node) {
                      const Tensor& pv = node.parents[0]->value;
                      Tensor d(pv.shape());
@@ -373,8 +400,9 @@ Var MaskedSquaredError(const Var& pred, const Tensor& target,
 }
 
 Var FrobeniusSquared(const Var& a) {
+  ODF_TRACE_SCOPE("fwd/", "FrobeniusSquared", "fwd");
   Tensor out = Tensor::Scalar(SquaredNorm(a.value()));
-  return MakeOpVar(std::move(out), {a}, [](Node& node) {
+  return MakeOpVar("FrobeniusSquared", std::move(out), {a}, [](Node& node) {
     node.parents[0]->AccumulateGrad(odf::MulScalar(
         node.parents[0]->value, 2.0f * node.grad[0]));
   });
@@ -382,11 +410,12 @@ Var FrobeniusSquared(const Var& a) {
 
 Var DirichletEnergy(const Var& x, const Tensor& laplacian,
                     int64_t node_axis) {
+  ODF_TRACE_SCOPE("fwd/", "DirichletEnergy", "fwd");
   const int64_t axis = node_axis < 0 ? node_axis + x.rank() : node_axis;
   const Tensor lx = ApplyMatrixAlongAxis(laplacian, x.value(), axis);
   Tensor out = odf::SumAll(odf::Mul(x.value(), lx));
   // Gradient (symmetric L): d/dx trace(xᵀLx) = 2 L x.
-  return MakeOpVar(std::move(out), {x}, [laplacian, axis](Node& node) {
+  return MakeOpVar("DirichletEnergy", std::move(out), {x}, [laplacian, axis](Node& node) {
     Tensor d = ApplyMatrixAlongAxis(laplacian, node.parents[0]->value, axis);
     node.parents[0]->AccumulateGrad(
         odf::MulScalar(d, 2.0f * node.grad[0]));

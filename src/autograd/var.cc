@@ -2,6 +2,9 @@
 
 #include <unordered_set>
 
+#include "util/metrics.h"
+#include "util/trace.h"
+
 namespace odf::autograd {
 
 namespace internal {
@@ -21,10 +24,16 @@ void Node::AccumulateGrad(const Tensor& delta) {
   for (int64_t i = 0; i < n; ++i) g[i] += d[i];
 }
 
-Var MakeOpVar(Tensor value, std::vector<Var> parents,
+Var MakeOpVar(const char* op, Tensor value, std::vector<Var> parents,
               std::function<void(Node&)> backward) {
   auto node = std::make_shared<Node>();
   node->value = std::move(value);
+  node->op = op;
+  if (MetricsEnabled()) {
+    static Counter& nodes =
+        MetricsRegistry::Global().GetCounter("autograd.tape_nodes");
+    nodes.Add(1);
+  }
   bool any_grad = false;
   for (const Var& p : parents) any_grad = any_grad || p.requires_grad();
   node->requires_grad = any_grad;
@@ -98,9 +107,18 @@ void Var::Backward() {
   }
 
   node_->AccumulateGrad(Tensor::Ones(node_->value.shape()));
+  ODF_TRACE_SCOPE("autograd/", "Backward", "bwd");
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     internal::Node* node = *it;
-    if (node->backward && node->grad_allocated) node->backward(*node);
+    if (node->backward && node->grad_allocated) {
+      TraceScope span("bwd/", node->op, "bwd");
+      node->backward(*node);
+    }
+  }
+  if (MetricsEnabled()) {
+    static Counter& backwards =
+        MetricsRegistry::Global().GetCounter("autograd.backwards");
+    backwards.Add(1);
   }
 }
 

@@ -19,6 +19,9 @@ struct Node {
   Tensor value;
   /// Gradient of the final scalar loss w.r.t. `value`; lazily allocated.
   Tensor grad;
+  /// Name of the op that produced `value` (string literal; "leaf" for
+  /// leaves). Labels the per-op backward spans in traces.
+  const char* op = "leaf";
   bool grad_allocated = false;
   bool requires_grad = false;
   /// Parents in the dataflow graph (inputs of the op that produced `value`).
@@ -84,10 +87,12 @@ class Var {
 
 namespace internal {
 
-/// Creates an op-result Var. `parents` are the inputs, `backward` propagates
-/// the node's gradient to them. The result requires grad iff any parent does;
-/// if none do, the backward closure is dropped (no tape is built).
-Var MakeOpVar(Tensor value, std::vector<Var> parents,
+/// Creates an op-result Var named `op` (a string literal, used to label the
+/// op's forward/backward trace spans). `parents` are the inputs, `backward`
+/// propagates the node's gradient to them. The result requires grad iff any
+/// parent does; if none do, the backward closure is dropped (no tape is
+/// built).
+Var MakeOpVar(const char* op, Tensor value, std::vector<Var> parents,
               std::function<void(Node&)> backward);
 
 }  // namespace internal

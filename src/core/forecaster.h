@@ -37,6 +37,18 @@ struct TrainConfig {
   /// files are skipped with a warning; none valid = train from scratch).
   /// A resumed run is bit-identical to one that never stopped.
   bool resume = false;
+
+  // --- Observability (docs/observability.md). -----------------------------
+  /// Per-epoch telemetry JSONL (train/val loss, grad norm, epoch wall time,
+  /// checkpoint write time; one JSON object per line, appended). Empty =
+  /// `<checkpoint_dir>/telemetry.jsonl` when checkpointing with `ODF_METRICS`
+  /// truthy, otherwise disabled.
+  std::string telemetry_path;
+  /// Chrome-trace capture scoped to this training run: started before the
+  /// first epoch and flushed here when training returns. Empty = no
+  /// run-scoped capture (a process-wide `ODF_TRACE=1` capture, if any,
+  /// still records the run and is left untouched).
+  std::string trace_path;
 };
 
 /// Common interface of every forecasting method in the study: the paper's

@@ -7,14 +7,18 @@
 #include <limits>
 #include <span>
 #include <string>
+#include <system_error>
 #include <utility>
 #include <vector>
 
 #include "nn/optimizer.h"
 #include "nn/serialize.h"
+#include "util/env_config.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace odf {
 
@@ -23,21 +27,17 @@ namespace {
 // Seed offset for the per-batch evaluation Rng streams (see EvaluateLoss).
 constexpr uint64_t kEvalRngSalt = 0xE7A1B2C3D4E5F607ull;
 
-/// Mean model loss over `samples` with dropout disabled.
-///
-/// Batches are evaluated in parallel: the forward pass is read-only with
-/// respect to the model (each call builds its own tape) and each batch gets
-/// its own Rng seeded from (`seed`, batch index), so the result is
-/// deterministic and identical for every thread count. Nothing here touches
-/// the training Rng stream — evaluation is dropout-free, and keeping the
-/// stream untouched keeps training itself byte-for-byte reproducible.
+}  // namespace
+
 float EvaluateLoss(NeuralForecaster& model, const ForecastDataset& dataset,
                    const std::vector<int64_t>& samples, int64_t batch_size,
                    uint64_t seed) {
+  ODF_TRACE_SCOPE("train/", "evaluate", "train");
   const int64_t num_batches =
       (static_cast<int64_t>(samples.size()) + batch_size - 1) / batch_size;
   if (num_batches == 0) return 0.0f;
   std::vector<double> losses(static_cast<size_t>(num_batches), 0.0);
+  std::vector<double> weights(static_cast<size_t>(num_batches), 0.0);
   ThreadPool::Global().ParallelFor(
       num_batches, 1, [&](int64_t b0, int64_t b1) {
         for (int64_t b = b0; b < b1; ++b) {
@@ -49,12 +49,17 @@ float EvaluateLoss(NeuralForecaster& model, const ForecastDataset& dataset,
           Rng batch_rng(seed ^ (kEvalRngSalt + static_cast<uint64_t>(b)));
           losses[static_cast<size_t>(b)] =
               model.Loss(batch, /*train=*/false, batch_rng).value().Item();
+          weights[static_cast<size_t>(b)] = static_cast<double>(len);
         }
       });
+  // Weight each batch's mean loss by its sample count: with a ragged final
+  // batch an unweighted mean of batch means over-counts the short batch.
   double total = 0;
-  for (double loss : losses) total += loss;
-  return static_cast<float>(total / static_cast<double>(num_batches));
+  for (size_t b = 0; b < losses.size(); ++b) total += losses[b] * weights[b];
+  return static_cast<float>(total / static_cast<double>(samples.size()));
 }
+
+namespace {
 
 // ---------------------------------------------------------------------------
 // Checkpoint files: <dir>/ckpt-<epoch>.odfckpt, rolling, newest wins.
@@ -76,7 +81,15 @@ std::vector<std::pair<int64_t, std::string>> ListCheckpoints(
     const std::string& dir) {
   std::vector<std::pair<int64_t, std::string>> found;
   std::error_code ec;
-  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec && ec != std::errc::no_such_file_or_directory) {
+    // A missing directory is normal (fresh run, nothing written yet); any
+    // other failure means checkpoints exist but cannot be listed — say so
+    // instead of silently resuming from scratch / skipping pruning.
+    ODF_LOG(Warning) << "cannot list checkpoint dir " << dir << ": "
+                     << ec.message();
+  }
+  for (const auto& entry : it) {
     const std::string name = entry.path().filename().string();
     const std::string prefix(kCheckpointPrefix);
     const std::string suffix(kCheckpointSuffix);
@@ -183,6 +196,54 @@ int ResumeFromCheckpoint(const TrainConfig& config, NeuralForecaster& model,
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Per-epoch telemetry (docs/observability.md): one JSON object per line,
+// appended so a resumed run extends the same file.
+// ---------------------------------------------------------------------------
+
+struct EpochTelemetry {
+  int epoch = 0;
+  float train_loss = 0.0f;
+  float val_loss = 0.0f;
+  float grad_norm = 0.0f;  // mean pre-clip L2 norm over the epoch's batches
+  float learning_rate = 0.0f;
+  double epoch_seconds = 0.0;
+  double eval_seconds = 0.0;
+  double checkpoint_seconds = 0.0;
+};
+
+/// `config.telemetry_path` wins; otherwise checkpointing runs default to
+/// `<checkpoint_dir>/telemetry.jsonl` when `ODF_METRICS` is truthy. Empty
+/// result = telemetry disabled.
+std::string ResolveTelemetryPath(const TrainConfig& config) {
+  if (!config.telemetry_path.empty()) return config.telemetry_path;
+  if (!config.checkpoint_dir.empty() && GetEnvBool("ODF_METRICS", false)) {
+    return (std::filesystem::path(config.checkpoint_dir) / "telemetry.jsonl")
+        .string();
+  }
+  return {};
+}
+
+void AppendTelemetry(const std::string& path, const EpochTelemetry& t) {
+  ODF_TRACE_SCOPE("train/", "telemetry", "train");
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) {
+    ODF_LOG(Warning) << "cannot append telemetry to " << path;
+    return;
+  }
+  std::fprintf(f,
+               "{\"epoch\":%d,\"train_loss\":%.9g,\"val_loss\":%.9g,"
+               "\"grad_norm\":%.9g,\"learning_rate\":%.9g,"
+               "\"epoch_seconds\":%.6f,\"eval_seconds\":%.6f,"
+               "\"checkpoint_seconds\":%.6f}\n",
+               t.epoch, static_cast<double>(t.train_loss),
+               static_cast<double>(t.val_loss),
+               static_cast<double>(t.grad_norm),
+               static_cast<double>(t.learning_rate), t.epoch_seconds,
+               t.eval_seconds, t.checkpoint_seconds);
+  std::fclose(f);
+}
+
 }  // namespace
 
 TrainResult TrainForecaster(NeuralForecaster& model,
@@ -191,6 +252,18 @@ TrainResult TrainForecaster(NeuralForecaster& model,
                             const TrainConfig& config) {
   ODF_CHECK(!split.train.empty());
   const bool checkpointing = !config.checkpoint_dir.empty();
+  // Run-scoped trace capture: only when no process-wide capture (ODF_TRACE)
+  // is already recording, so we never steal an ambient trace's events.
+  const bool own_trace = !config.trace_path.empty() && !TraceEnabled();
+  if (own_trace) Tracer::Global().Start(config.trace_path);
+  const std::string telemetry_path = ResolveTelemetryPath(config);
+  if (!telemetry_path.empty()) {
+    const auto parent = std::filesystem::path(telemetry_path).parent_path();
+    if (!parent.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(parent, ec);
+    }
+  }
   Rng rng(config.seed);
   model.set_dropout_rate(config.dropout);
   nn::Adam optimizer(model.Parameters(), config.learning_rate);
@@ -216,27 +289,40 @@ TrainResult TrainForecaster(NeuralForecaster& model,
 
   for (int epoch = start_epoch; !already_stopped && epoch < config.epochs;
        ++epoch) {
+    ODF_TRACE_SCOPE("train/", "epoch", "train");
+    Stopwatch epoch_watch;
     schedule.Apply(optimizer, epoch);
     double epoch_loss = 0;
+    double epoch_grad_norm = 0;
     int64_t batches = 0;
     for (const auto& indices :
          dataset.ShuffledBatches(split.train, config.batch_size, rng)) {
+      ODF_TRACE_SCOPE("train/", "batch", "train");
       Batch batch = dataset.MakeBatch(indices);
       optimizer.ZeroGrad();
       autograd::Var loss = model.Loss(batch, /*train=*/true, rng);
       loss.Backward();
-      optimizer.ClipGradNorm(config.grad_clip_norm);
+      epoch_grad_norm += optimizer.ClipGradNorm(config.grad_clip_norm);
       optimizer.Step();
       epoch_loss += loss.value().Item();
       ++batches;
     }
     const float train_loss =
         batches == 0 ? 0.0f : static_cast<float>(epoch_loss / batches);
+    const float grad_norm =
+        batches == 0 ? 0.0f : static_cast<float>(epoch_grad_norm / batches);
+    Stopwatch eval_watch;
     const float val_loss = EvaluateLoss(model, dataset, val_samples,
                                         config.batch_size, config.seed);
+    const double eval_seconds = eval_watch.ElapsedSeconds();
     result.train_losses.push_back(train_loss);
     result.validation_losses.push_back(val_loss);
     result.epochs_run = epoch + 1;
+    if (MetricsEnabled()) {
+      MetricsRegistry::Global().GetCounter("train.epochs").Add(1);
+      MetricsRegistry::Global().GetGauge("train.val_loss").Set(val_loss);
+      MetricsRegistry::Global().GetGauge("train.grad_norm").Set(grad_norm);
+    }
 
     if (config.verbose) {
       ODF_LOG(Info) << model.name() << " epoch " << epoch << " train "
@@ -259,11 +345,27 @@ TrainResult TrainForecaster(NeuralForecaster& model,
     const bool stopping =
         stale_epochs > config.patience || epoch == config.epochs - 1;
 
+    double checkpoint_seconds = 0.0;
     if (checkpointing &&
         (stopping || (epoch + 1) % std::max(1, config.checkpoint_every_epochs)
                          == 0)) {
+      ODF_TRACE_SCOPE("train/", "checkpoint", "train");
+      Stopwatch checkpoint_watch;
       WriteCheckpoint(config, model, optimizer, rng, result, stale_epochs,
                       best_weights, epoch);
+      checkpoint_seconds = checkpoint_watch.ElapsedSeconds();
+    }
+    if (!telemetry_path.empty()) {
+      EpochTelemetry telemetry;
+      telemetry.epoch = epoch;
+      telemetry.train_loss = train_loss;
+      telemetry.val_loss = val_loss;
+      telemetry.grad_norm = grad_norm;
+      telemetry.learning_rate = optimizer.learning_rate();
+      telemetry.epoch_seconds = epoch_watch.ElapsedSeconds();
+      telemetry.eval_seconds = eval_seconds;
+      telemetry.checkpoint_seconds = checkpoint_seconds;
+      AppendTelemetry(telemetry_path, telemetry);
     }
     if (stale_epochs > config.patience) break;
   }
@@ -275,6 +377,9 @@ TrainResult TrainForecaster(NeuralForecaster& model,
     for (size_t i = 0; i < params.size(); ++i) {
       params[i].SetValue(best_weights[i]);
     }
+  }
+  if (own_trace && !Tracer::Global().Stop()) {
+    ODF_LOG(Warning) << "failed to write trace " << config.trace_path;
   }
   return result;
 }

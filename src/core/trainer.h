@@ -31,6 +31,21 @@ TrainResult TrainForecaster(NeuralForecaster& model,
                             const ForecastDataset::Split& split,
                             const TrainConfig& config);
 
+/// Mean per-sample model loss over `samples` with dropout disabled: each
+/// batch's mean loss is weighted by the number of samples in it, so a
+/// ragged final batch (`samples.size() % batch_size != 0`) contributes in
+/// proportion to its size and the result matches a batch_size=1 sweep.
+///
+/// Batches are evaluated in parallel: the forward pass is read-only with
+/// respect to the model (each call builds its own tape) and each batch gets
+/// its own Rng seeded from (`seed`, batch index), so the result is
+/// deterministic and identical for every thread count. Nothing here touches
+/// the training Rng stream — evaluation is dropout-free, and keeping the
+/// stream untouched keeps training itself byte-for-byte reproducible.
+float EvaluateLoss(NeuralForecaster& model, const ForecastDataset& dataset,
+                   const std::vector<int64_t>& samples, int64_t batch_size,
+                   uint64_t seed);
+
 }  // namespace odf
 
 #endif  // ODF_CORE_TRAINER_H_

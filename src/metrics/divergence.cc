@@ -79,6 +79,32 @@ double EarthMoversDistanceWithFlow(const float* m, const float* mhat,
       if (j < k) demand = mhat[j];
     }
   }
+  // Unequal total mass: one pointer hits the end with residual mass on the
+  // other side. The CDF formulation implicitly tops the deficit side up at
+  // the last bucket (index k-1 never enters the CDF sum), so route every
+  // leftover unit there instead of silently dropping it — this keeps the two
+  // implementations in exact agreement on unnormalized inputs.
+  const int64_t last = k - 1;
+  while (i < k) {
+    if (supply > 0.0) {
+      cost += supply * static_cast<double>(last - i);
+      if (flow != nullptr) {
+        (*flow)[static_cast<size_t>(i * k + last)] += supply;
+      }
+    }
+    ++i;
+    if (i < k) supply = m[i];
+  }
+  while (j < k) {
+    if (demand > 0.0) {
+      cost += demand * static_cast<double>(last - j);
+      if (flow != nullptr) {
+        (*flow)[static_cast<size_t>(last * k + j)] += demand;
+      }
+    }
+    ++j;
+    if (j < k) demand = mhat[j];
+  }
   return cost;
 }
 

@@ -40,7 +40,11 @@ double HistogramDissimilarity(Metric metric, const float* m,
 /// receives the k×k plan (row-major, row = source bucket of `m`). For 1-D
 /// histograms with a convex ground cost the monotone (two-pointer) plan is
 /// optimal, which is what this computes — EarthMoversDistance() is the
-/// closed-form equivalent and the two agree to numerical precision.
+/// closed-form equivalent and the two agree to numerical precision on every
+/// input. When the two histograms carry unequal total mass the deficit side
+/// is topped up at the last bucket (exactly what the CDF form does, since
+/// bucket k−1 never enters its sum), so no mass is ever dropped and the
+/// returned plan moves max(Σm, Σm̂) units of mass.
 double EarthMoversDistanceWithFlow(const float* m, const float* mhat,
                                    int64_t k,
                                    std::vector<double>* flow = nullptr);

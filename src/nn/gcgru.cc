@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "tensor/tensor_ops.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace odf::nn {
 
@@ -45,6 +47,15 @@ GcGruCell::GcGruCell(std::shared_ptr<const GraphOperator> op,
 }
 
 ag::Var GcGruCell::Step(const ag::Var& x, const ag::Var& h) const {
+  ODF_TRACE_SCOPE("fwd/", "GcGruCell.Step", "fwd");
+  static Histogram& step_hist =
+      MetricsRegistry::Global().GetHistogram("gcgru.step_seconds");
+  ScopedTimer timer(step_hist);
+  if (MetricsEnabled()) {
+    static Counter& steps =
+        MetricsRegistry::Global().GetCounter("gcgru.steps");
+    steps.Add(1);
+  }
   ODF_CHECK_EQ(x.rank(), 3);
   ODF_CHECK_EQ(h.rank(), 3);
   ODF_CHECK_EQ(x.dim(2), input_features_);

@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "util/check.h"
+#include "util/trace.h"
 
 namespace odf::nn {
 
@@ -11,6 +12,7 @@ namespace ag = odf::autograd;
 ag::Var GraphPool(const ag::Var& x,
                   const std::vector<std::vector<int64_t>>& clusters,
                   PoolKind kind) {
+  ODF_TRACE_SCOPE("fwd/", "GraphPool", "fwd");
   ODF_CHECK_EQ(x.rank(), 3);
   ODF_CHECK(!clusters.empty());
   const int64_t batch = x.dim(0);
@@ -63,7 +65,7 @@ ag::Var GraphPool(const ag::Var& x,
   }
 
   return ag::internal::MakeOpVar(
-      std::move(out), {x},
+      "GraphPool", std::move(out), {x},
       [clusters, kind, argmax, batch, n, nc,
        features](ag::internal::Node& node) {
         Tensor grad(Shape({batch, n, features}));

@@ -5,7 +5,9 @@
 
 #include "tensor/tensor_ops.h"
 #include "util/env_config.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace odf {
 namespace {
@@ -155,6 +157,14 @@ void SpmmTiled(const CsrMatrix& a, int64_t batch, int64_t f,
 }
 
 Tensor SpMM(const CsrMatrix& a, const Tensor& x) {
+  ODF_TRACE_SCOPE("kernel/", "spmm", "kernel");
+  static Histogram& spmm_hist =
+      MetricsRegistry::Global().GetHistogram("spmm.seconds");
+  ScopedTimer timer(spmm_hist);
+  if (MetricsEnabled()) {
+    static Counter& calls = MetricsRegistry::Global().GetCounter("spmm.calls");
+    calls.Add(1);
+  }
   const bool squeeze = x.rank() == 2;
   ODF_CHECK(x.rank() == 2 || x.rank() == 3);
   const int64_t batch = squeeze ? 1 : x.dim(0);
@@ -189,6 +199,10 @@ void CopyRows(int64_t rows, int64_t f, const float* src, int64_t ld_src,
 
 Tensor ChebyshevBasis(const GraphOperator& op, const Tensor& x,
                       int64_t order) {
+  ODF_TRACE_SCOPE("kernel/", "cheb_basis", "kernel");
+  static Histogram& cheb_hist =
+      MetricsRegistry::Global().GetHistogram("cheb_basis.seconds");
+  ScopedTimer timer(cheb_hist);
   ODF_CHECK_GT(order, 0);
   ODF_CHECK_EQ(x.rank(), 3);
   const int64_t batch = x.dim(0);
@@ -239,6 +253,10 @@ Tensor ChebyshevBasis(const GraphOperator& op, const Tensor& x,
 
 Tensor ChebyshevBasisGrad(const GraphOperator& op, const Tensor& grad,
                           int64_t order) {
+  ODF_TRACE_SCOPE("kernel/", "cheb_basis_grad", "kernel");
+  static Histogram& cheb_grad_hist =
+      MetricsRegistry::Global().GetHistogram("cheb_basis_grad.seconds");
+  ScopedTimer timer(cheb_grad_hist);
   ODF_CHECK_GT(order, 0);
   ODF_CHECK_EQ(grad.rank(), 3);
   const int64_t batch = grad.dim(0);

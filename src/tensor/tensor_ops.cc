@@ -5,7 +5,9 @@
 #include <vector>
 
 #include "tensor/fast_math.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace odf {
 namespace {
@@ -399,6 +401,14 @@ Tensor Map(const Tensor& a, const std::function<float(float)>& fn) {
 }
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
+  ODF_TRACE_SCOPE("kernel/", "gemm", "kernel");
+  static Histogram& gemm_hist =
+      MetricsRegistry::Global().GetHistogram("gemm.seconds");
+  ScopedTimer timer(gemm_hist);
+  if (MetricsEnabled()) {
+    static Counter& calls = MetricsRegistry::Global().GetCounter("gemm.calls");
+    calls.Add(1);
+  }
   ODF_CHECK_EQ(a.rank(), 2);
   ODF_CHECK_EQ(b.rank(), 2);
   const int64_t m = a.dim(0);
@@ -413,6 +423,15 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
 
 Tensor BatchMatMul(const Tensor& a, const Tensor& b) {
   if (a.rank() == 2 && b.rank() == 2) return MatMul(a, b);
+  ODF_TRACE_SCOPE("kernel/", "batch_gemm", "kernel");
+  static Histogram& bgemm_hist =
+      MetricsRegistry::Global().GetHistogram("batch_gemm.seconds");
+  ScopedTimer timer(bgemm_hist);
+  if (MetricsEnabled()) {
+    static Counter& calls =
+        MetricsRegistry::Global().GetCounter("batch_gemm.calls");
+    calls.Add(1);
+  }
   ODF_CHECK(a.rank() == 2 || a.rank() == 3);
   ODF_CHECK(b.rank() == 2 || b.rank() == 3);
   const int64_t batch = a.rank() == 3 ? a.dim(0) : b.dim(0);

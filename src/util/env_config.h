@@ -15,6 +15,16 @@ namespace odf {
 //                    Global()). Defaults to hardware concurrency; 1 runs
 //                    every kernel serially. Numeric results are independent
 //                    of the value.
+//   ODF_METRICS=1    enable the process-wide metrics registry (kernel timing
+//                    histograms, pool/autograd counters, trainer gauges;
+//                    util/metrics.h). Off by default: the disabled check is
+//                    one relaxed atomic load per instrumentation site. Also
+//                    turns on the trainer's default per-epoch telemetry
+//                    JSONL when checkpointing (docs/observability.md).
+//   ODF_TRACE=1      capture a whole-process Chrome-trace (Perfetto) span
+//                    timeline (util/trace.h), flushed at exit to
+//                    ODF_TRACE_PATH (default odf_trace.json). Off by
+//                    default with the same one-load disabled cost.
 
 /// Returns the value of environment variable `name`, or `fallback` if unset.
 std::string GetEnvString(const char* name, const std::string& fallback);

@@ -4,6 +4,8 @@
 
 #include "util/check.h"
 #include "util/env_config.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace odf {
 namespace {
@@ -84,10 +86,26 @@ void ThreadPool::ParallelFor(int64_t n, int64_t grain, const RangeFn& fn) {
     fn(0, n);
     return;
   }
+  ODF_TRACE_SCOPE("pool/", "parallel_for", "pool");
+  const bool metrics = MetricsEnabled();
   const int64_t max_chunks = (n + grain - 1) / grain;
   // num_chunks <= n (grain >= 1), so the proportional boundaries below are
   // strictly increasing and every chunk is non-empty.
   const int64_t num_chunks = std::min<int64_t>(threads_, max_chunks);
+
+  // Each chunk records its own span/timing so per-worker utilization and
+  // load imbalance are visible in traces (docs/observability.md).
+  static Histogram& chunk_hist =
+      MetricsRegistry::Global().GetHistogram("pool.chunk_seconds");
+  const auto run_chunk = [&fn, metrics](int64_t begin, int64_t end) {
+    ODF_TRACE_SCOPE("pool/", "chunk", "pool");
+    if (metrics) {
+      ScopedTimer timer(chunk_hist);
+      fn(begin, end);
+    } else {
+      fn(begin, end);
+    }
+  };
 
   // Completion latch for this region; notified under the lock so the last
   // worker never touches it after this frame unblocks.
@@ -95,21 +113,39 @@ void ThreadPool::ParallelFor(int64_t n, int64_t grain, const RangeFn& fn) {
   std::condition_variable done_cv;
   int64_t done = 0;
   const int64_t queued = num_chunks - 1;
+  size_t queue_depth = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (int64_t c = 1; c < num_chunks; ++c) {
       const int64_t begin = c * n / num_chunks;
       const int64_t end = (c + 1) * n / num_chunks;
-      tasks_.emplace_back([&fn, &done_mu, &done_cv, &done, begin, end] {
-        fn(begin, end);
+      tasks_.emplace_back([&run_chunk, &done_mu, &done_cv, &done, begin,
+                           end] {
+        run_chunk(begin, end);
         std::lock_guard<std::mutex> g(done_mu);
         ++done;
         done_cv.notify_one();
       });
     }
+    queue_depth = tasks_.size();
+  }
+  if (metrics) {
+    static Counter& fors =
+        MetricsRegistry::Global().GetCounter("pool.parallel_fors");
+    static Counter& chunks =
+        MetricsRegistry::Global().GetCounter("pool.chunks");
+    static Gauge& depth =
+        MetricsRegistry::Global().GetGauge("pool.queue_depth");
+    fors.Add(1);
+    chunks.Add(static_cast<uint64_t>(num_chunks));
+    depth.Set(static_cast<double>(queue_depth));
+  }
+  if (TraceEnabled()) {
+    Tracer::Global().RecordCounter("pool.queue_depth",
+                                   static_cast<double>(queue_depth));
   }
   cv_.notify_all();
-  fn(0, n / num_chunks);
+  run_chunk(0, n / num_chunks);
   std::unique_lock<std::mutex> lock(done_mu);
   done_cv.wait(lock, [&] { return done == queued; });
 }

@@ -1,0 +1,186 @@
+#include "util/trace.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/env_config.h"
+
+namespace odf {
+
+namespace trace_internal {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace trace_internal
+
+namespace {
+
+struct TraceEvent {
+  char name[48];
+  const char* cat;  // string literal
+  char ph;          // 'X' complete span | 'C' counter
+  uint32_t tid;
+  uint64_t ts_ns;   // MonotonicNanos at event start
+  uint64_t dur_ns;  // 'X' only
+  double value;     // 'C' only
+};
+
+/// One per recording thread, owned jointly by the thread (thread_local
+/// shared_ptr) and the tracer (registry vector), so events survive thread
+/// exit until the next Stop(). The per-buffer mutex is effectively
+/// uncontended: the owning thread appends, Start/Stop drain.
+struct TraceBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  uint32_t tid = 0;
+};
+
+}  // namespace
+
+struct Tracer::Impl {
+  std::mutex mu;  // guards buffers/path/start_ns and Start/Stop transitions
+  std::vector<std::shared_ptr<TraceBuffer>> buffers;
+  std::string path;
+  uint64_t start_ns = 0;
+  uint32_t next_tid = 0;
+  bool atexit_registered = false;
+
+  std::shared_ptr<TraceBuffer> RegisterBuffer() {
+    auto buffer = std::make_shared<TraceBuffer>();
+    std::lock_guard<std::mutex> lock(mu);
+    buffer->tid = next_tid++;
+    buffers.push_back(buffer);
+    return buffer;
+  }
+
+  TraceBuffer& LocalBuffer() {
+    thread_local std::shared_ptr<TraceBuffer> buffer = RegisterBuffer();
+    return *buffer;
+  }
+};
+
+Tracer::Impl& Tracer::impl() const {
+  static Impl* impl = new Impl();  // leaked: spans may close during exit
+  return *impl;
+}
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::Start(const std::string& path) {
+  Impl& t = impl();
+  std::lock_guard<std::mutex> lock(t.mu);
+  if (TraceEnabled()) return;
+  for (auto& buffer : t.buffers) {
+    std::lock_guard<std::mutex> bl(buffer->mu);
+    buffer->events.clear();
+  }
+  t.path = path;
+  t.start_ns = MonotonicNanos();
+  if (!t.atexit_registered) {
+    t.atexit_registered = true;
+    std::atexit([] { Tracer::Global().Stop(); });
+  }
+  trace_internal::g_trace_enabled.store(true, std::memory_order_relaxed);
+}
+
+bool Tracer::Stop() {
+  if (!TraceEnabled()) return false;
+  trace_internal::g_trace_enabled.store(false, std::memory_order_relaxed);
+  Impl& t = impl();
+  std::lock_guard<std::mutex> lock(t.mu);
+  std::FILE* f = std::fopen(t.path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "tracer: cannot write %s\n", t.path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n");
+  bool first = true;
+  for (auto& buffer : t.buffers) {
+    std::lock_guard<std::mutex> bl(buffer->mu);
+    for (const TraceEvent& e : buffer->events) {
+      const double ts_us =
+          e.ts_ns >= t.start_ns
+              ? static_cast<double>(e.ts_ns - t.start_ns) / 1e3
+              : 0.0;
+      if (e.ph == 'X') {
+        std::fprintf(f,
+                     "%s{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+                     "\"pid\": 1, \"tid\": %u, \"ts\": %.3f, \"dur\": %.3f}",
+                     first ? "" : ",\n", e.name, e.cat, e.tid, ts_us,
+                     static_cast<double>(e.dur_ns) / 1e3);
+      } else {
+        std::fprintf(f,
+                     "%s{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"C\", "
+                     "\"pid\": 1, \"tid\": %u, \"ts\": %.3f, "
+                     "\"args\": {\"value\": %.6g}}",
+                     first ? "" : ",\n", e.name, e.cat, e.tid, ts_us,
+                     e.value);
+      }
+      first = false;
+    }
+    buffer->events.clear();
+  }
+  std::fprintf(f, "\n]}\n");
+  return std::fclose(f) == 0;
+}
+
+void Tracer::RecordComplete(const char* prefix, const char* name,
+                            const char* cat, uint64_t start_nanos,
+                            uint64_t duration_nanos) {
+  TraceBuffer& buffer = impl().LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.events.push_back({});
+  TraceEvent& e = buffer.events.back();
+  std::snprintf(e.name, sizeof e.name, "%s%s", prefix, name);
+  e.cat = cat;
+  e.ph = 'X';
+  e.tid = buffer.tid;
+  e.ts_ns = start_nanos;
+  e.dur_ns = duration_nanos;
+  e.value = 0.0;
+}
+
+void Tracer::RecordCounter(const char* name, double value) {
+  if (!TraceEnabled()) return;
+  TraceBuffer& buffer = impl().LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.events.push_back({});
+  TraceEvent& e = buffer.events.back();
+  std::snprintf(e.name, sizeof e.name, "%s", name);
+  e.cat = "counter";
+  e.ph = 'C';
+  e.tid = buffer.tid;
+  e.ts_ns = MonotonicNanos();
+  e.dur_ns = 0;
+  e.value = value;
+}
+
+size_t Tracer::BufferedEvents() const {
+  Impl& t = impl();
+  std::lock_guard<std::mutex> lock(t.mu);
+  size_t total = 0;
+  for (auto& buffer : t.buffers) {
+    std::lock_guard<std::mutex> bl(buffer->mu);
+    total += buffer->events.size();
+  }
+  return total;
+}
+
+namespace {
+
+/// `ODF_TRACE=1` starts a whole-process capture at static-init time and
+/// flushes it at exit (the Start call registers the atexit hook).
+[[maybe_unused]] const bool g_trace_env_bootstrap = [] {
+  if (GetEnvBool("ODF_TRACE", false)) {
+    Tracer::Global().Start(GetEnvString("ODF_TRACE_PATH", "odf_trace.json"));
+  }
+  return true;
+}();
+
+}  // namespace
+
+}  // namespace odf

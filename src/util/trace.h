@@ -1,0 +1,100 @@
+#ifndef ODF_UTIL_TRACE_H_
+#define ODF_UTIL_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "util/metrics.h"
+
+namespace odf {
+
+namespace trace_internal {
+/// Hot-path capture switch; flipped only by Tracer::Start/Stop.
+extern std::atomic<bool> g_trace_enabled;
+}  // namespace trace_internal
+
+/// True while a trace capture is running. One relaxed atomic load — this is
+/// the entire cost of every ODF_TRACE_SCOPE when tracing is off (no clock
+/// read, no allocation).
+inline bool TraceEnabled() {
+  return trace_internal::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// Process-wide Chrome-trace recorder (chrome://tracing / Perfetto JSON).
+///
+/// Capture is started either programmatically (`Tracer::Global().Start(
+/// path)`) or by setting `ODF_TRACE=1` in the environment, which starts a
+/// capture at process start and flushes it at exit to `ODF_TRACE_PATH`
+/// (default `odf_trace.json`).
+///
+/// Each thread appends completed spans to its own buffer guarded by a
+/// per-thread mutex that only Start/Stop ever contend on, so recording
+/// never serializes threads against each other. Spans come from
+/// ODF_TRACE_SCOPE instrumentation: autograd forward/backward ops, the
+/// GEMM/SpMM kernels, GcGruCell steps, thread-pool chunks and the trainer
+/// (see docs/observability.md for the span and category inventory).
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  /// Begins a capture that Stop() will write to `path`. Discards any spans
+  /// buffered from a previous capture. No-op if already capturing.
+  void Start(const std::string& path);
+
+  /// Ends the capture and writes the buffered events as Chrome-trace JSON.
+  /// Returns false when no capture was running or the file can't be
+  /// written. Safe to call while other threads are still recording: they
+  /// observe the disabled flag and stop appending.
+  bool Stop();
+
+  /// Complete span ("ph":"X"). `prefix` and `name` are concatenated into
+  /// the event name ("fwd/" + "MatMul"); `cat` must be a string literal.
+  void RecordComplete(const char* prefix, const char* name, const char* cat,
+                      uint64_t start_nanos, uint64_t duration_nanos);
+
+  /// Counter track ("ph":"C"), e.g. the pool queue depth over time.
+  void RecordCounter(const char* name, double value);
+
+  /// Number of events currently buffered (tests).
+  size_t BufferedEvents() const;
+
+ private:
+  Tracer() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+/// RAII span: records a completed trace event over its lexical scope.
+/// When tracing is disabled at construction this is a single flag check.
+class TraceScope {
+ public:
+  TraceScope(const char* prefix, const char* name, const char* cat = "op")
+      : prefix_(prefix), name_(name), cat_(cat),
+        start_(TraceEnabled() ? MonotonicNanos() : 0) {}
+  ~TraceScope() {
+    if (start_ != 0 && TraceEnabled()) {
+      Tracer::Global().RecordComplete(prefix_, name_, cat_, start_,
+                                      MonotonicNanos() - start_);
+    }
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  const char* prefix_;
+  const char* name_;
+  const char* cat_;
+  uint64_t start_;
+};
+
+#define ODF_TRACE_CONCAT_INNER(a, b) a##b
+#define ODF_TRACE_CONCAT(a, b) ODF_TRACE_CONCAT_INNER(a, b)
+/// Spans the enclosing scope: ODF_TRACE_SCOPE("kernel/", "MatMul", "kernel").
+#define ODF_TRACE_SCOPE(prefix, name, cat)                 \
+  ::odf::TraceScope ODF_TRACE_CONCAT(odf_trace_scope_,     \
+                                     __LINE__)(prefix, name, cat)
+
+}  // namespace odf
+
+#endif  // ODF_UTIL_TRACE_H_

@@ -557,8 +557,9 @@ TEST(ResumeTest, RollingSnapshotsAreBounded) {
   TrainForecaster(model, world.dataset, world.split, config);
   size_t count = 0;
   for (const auto& entry : std::filesystem::directory_iterator(dir)) {
-    (void)entry;
-    ++count;
+    // Only snapshots are bounded; training may also drop telemetry.jsonl
+    // here when ODF_METRICS is on.
+    if (entry.path().extension() == ".odfckpt") ++count;
   }
   EXPECT_EQ(count, 2u);
 }

@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
 #include "autograd/gradcheck.h"
 #include "core/advanced_framework.h"
 #include "core/basic_framework.h"
@@ -8,6 +13,7 @@
 #include "core/trainer.h"
 #include "graph/region_graph.h"
 #include "sim/trip_generator.h"
+#include "util/trace.h"
 
 namespace odf {
 namespace {
@@ -260,10 +266,11 @@ TEST(TrainerTest, BestWeightsRestored) {
   train.epochs = 6;
   TrainResult result = TrainForecaster(model, world.dataset, world.split,
                                        train);
-  // After restoration, the validation loss equals the best seen.
+  // After restoration, the validation loss equals the best seen. The
+  // reference weights each batch's mean loss by its sample count, matching
+  // EvaluateLoss when the final batch is ragged.
   Rng rng(0);
   double total = 0;
-  int64_t batches = 0;
   for (size_t start = 0; start < world.split.validation.size();
        start += 8) {
     const size_t end =
@@ -271,10 +278,103 @@ TEST(TrainerTest, BestWeightsRestored) {
     std::vector<int64_t> idx(world.split.validation.begin() + start,
                              world.split.validation.begin() + end);
     Batch batch = world.dataset.MakeBatch(idx);
-    total += model.Loss(batch, false, rng).value().Item();
-    ++batches;
+    total += model.Loss(batch, false, rng).value().Item() *
+             static_cast<double>(end - start);
   }
-  EXPECT_NEAR(total / batches, result.best_validation_loss, 1e-4);
+  EXPECT_NEAR(total / world.split.validation.size(),
+              result.best_validation_loss, 1e-4);
+}
+
+TEST(TrainerTest, ConfigDrivenTelemetryAndTrace) {
+  if (TraceEnabled()) {
+    GTEST_SKIP() << "ambient ODF_TRACE capture owns the tracer";
+  }
+  TestWorld world = TestWorld::Make();
+  BasicFrameworkConfig config;
+  BasicFramework model(9, 9, 7, 2, config);
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "odf_trainer_obs").string();
+  std::filesystem::remove_all(dir);
+  TrainConfig train = FastTrain();
+  train.epochs = 2;
+  train.telemetry_path = dir + "/telemetry.jsonl";
+  train.trace_path = dir + "/train_trace.json";
+  TrainForecaster(model, world.dataset, world.split, train);
+
+  std::ifstream telemetry(train.telemetry_path);
+  ASSERT_TRUE(telemetry.good());
+  std::string line;
+  int lines = 0;
+  while (std::getline(telemetry, line)) {
+    EXPECT_NE(line.find("\"epoch\":" + std::to_string(lines)),
+              std::string::npos);
+    EXPECT_NE(line.find("\"train_loss\":"), std::string::npos);
+    EXPECT_NE(line.find("\"val_loss\":"), std::string::npos);
+    EXPECT_NE(line.find("\"grad_norm\":"), std::string::npos);
+    EXPECT_NE(line.find("\"epoch_seconds\":"), std::string::npos);
+    EXPECT_NE(line.find("\"checkpoint_seconds\":"), std::string::npos);
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2);
+
+  std::ifstream trace(train.trace_path, std::ios::binary);
+  ASSERT_TRUE(trace.good());
+  std::ostringstream buffer;
+  buffer << trace.rdbuf();
+  const std::string json = buffer.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"train/epoch\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"train/batch\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"train/evaluate\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"fwd/"), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"bwd/"), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+// Deterministic stub whose per-batch loss is the exact mean of a fixed
+// per-sample value, so EvaluateLoss's weighting is testable in closed form
+// (real models normalize by observed-cell count, not per sample).
+class StubLossModel : public NeuralForecaster {
+ public:
+  std::string name() const override { return "stub"; }
+  std::string Describe() const override { return "stub"; }
+  std::vector<Tensor> Predict(const Batch&) override { return {}; }
+  ag::Var Loss(const Batch& batch, bool /*train*/, Rng& /*rng*/) override {
+    double total = 0;
+    for (int64_t anchor : batch.anchor_intervals) total += PerSample(anchor);
+    Tensor out(Shape({1}));
+    out.data()[0] = static_cast<float>(
+        total / static_cast<double>(batch.anchor_intervals.size()));
+    return ag::Var::Constant(out);
+  }
+  static double PerSample(int64_t anchor) {
+    return 0.25 + 0.5 * std::sin(static_cast<double>(anchor) * 0.7);
+  }
+};
+
+TEST(TrainerTest, EvaluateLossWeighsRaggedFinalBatch) {
+  TestWorld world = TestWorld::Make();
+  StubLossModel model;
+  // 13 samples in batches of 8 -> a full batch and a ragged batch of 5. An
+  // unweighted mean of batch means would over-count the short batch; the
+  // weighted mean must equal both a batch_size=1 sweep and the exact
+  // per-sample mean.
+  std::vector<int64_t> samples;
+  for (int64_t i = 0; i < 13; ++i) samples.push_back(i);
+  const float batched =
+      EvaluateLoss(model, world.dataset, samples, /*batch_size=*/8,
+                   /*seed=*/3);
+  const float reference =
+      EvaluateLoss(model, world.dataset, samples, /*batch_size=*/1,
+                   /*seed=*/3);
+  double exact = 0;
+  for (int64_t i : samples) {
+    const Batch one = world.dataset.MakeBatch({i});
+    exact += StubLossModel::PerSample(one.anchor_intervals.at(0));
+  }
+  exact /= static_cast<double>(samples.size());
+  EXPECT_NEAR(batched, reference, 1e-6f);
+  EXPECT_NEAR(batched, static_cast<float>(exact), 1e-6f);
 }
 
 }  // namespace

@@ -92,6 +92,130 @@ TEST(DivergenceTest, EmdPartialMove) {
   EXPECT_NEAR(EarthMoversDistance(m, mhat, 2), 0.5, 1e-9);
 }
 
+TEST(DivergenceTest, KlArgumentOrderMatchesPaper) {
+  // Paper Eq. 13: KL(m, m̂) = Σ_k m̂_k·log((m̂_k + δ)/(m_k + δ)) — the
+  // forecast m̂ weights the log ratio, not the ground truth m.
+  const float m[] = {0.8f, 0.2f};
+  const float mhat[] = {0.3f, 0.7f};
+  const double delta = 1e-3;
+  double expected = 0;
+  for (int i = 0; i < 2; ++i) {
+    expected += mhat[i] * std::log((mhat[i] + delta) / (m[i] + delta));
+  }
+  EXPECT_NEAR(KlDivergence(m, mhat, 2), expected, 1e-12);
+  // The smoothed form is asymmetric: swapping arguments changes the value.
+  EXPECT_NE(KlDivergence(m, mhat, 2), KlDivergence(mhat, m, 2));
+}
+
+TEST(DivergenceTest, KlDeltaSmoothingAtZeroBuckets) {
+  // A zero bucket on either side stays finite thanks to δ, and the value
+  // approaches the unsmoothed limit as δ shrinks.
+  const float m[] = {1.0f, 0.0f};
+  const float mhat[] = {0.5f, 0.5f};
+  const double loose = KlDivergence(m, mhat, 2, 1e-2);
+  const double tight = KlDivergence(m, mhat, 2, 1e-6);
+  EXPECT_TRUE(std::isfinite(loose));
+  EXPECT_TRUE(std::isfinite(tight));
+  // Exact limit: 0.5·log(0.5/1) + 0.5·log(0.5/0) diverges; with δ the second
+  // term is 0.5·log((0.5+δ)/δ), so tightening δ must increase the value.
+  EXPECT_GT(tight, loose);
+  // All-zero forecast contributes nothing (0·log(δ/(m+δ))) by Eq. 13.
+  const float zero[] = {0.0f, 0.0f};
+  EXPECT_NEAR(KlDivergence(m, zero, 2), 0.0, 1e-12);
+}
+
+TEST(DivergenceTest, JsSymmetricOnUnnormalizedInputs) {
+  // JS must stay symmetric even when the cells are not proper distributions
+  // (e.g. unnormalized counts straight out of an accumulator).
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    float m[4];
+    float mhat[4];
+    for (int i = 0; i < 4; ++i) {
+      m[i] = static_cast<float>(rng.Uniform()) * 3.0f;
+      mhat[i] = static_cast<float>(rng.Uniform()) * 0.5f;
+    }
+    EXPECT_NEAR(JsDivergence(m, mhat, 4), JsDivergence(mhat, m, 4), 1e-9);
+  }
+}
+
+TEST(DivergenceTest, EmdFlowMatchesCdfFormOnRandomHistograms) {
+  // The two-pointer transport and the closed-form CDF distance are the same
+  // functional — on normalized, unnormalized, and zero-mass inputs alike.
+  Rng rng(11);
+  for (int trial = 0; trial < 200; ++trial) {
+    constexpr int k = 6;
+    float m[k];
+    float mhat[k];
+    for (int i = 0; i < k; ++i) {
+      // Sparse cells: many buckets exactly zero, totals far from 1.
+      m[i] = rng.Uniform() < 0.4 ? 0.0f
+                                 : static_cast<float>(rng.Uniform()) * 2.0f;
+      mhat[i] = rng.Uniform() < 0.4
+                    ? 0.0f
+                    : static_cast<float>(rng.Uniform()) * 0.7f;
+    }
+    if (trial % 10 == 0) {
+      for (int i = 0; i < k; ++i) mhat[i] = 0.0f;  // all-zero forecast
+    }
+    const double cdf = EarthMoversDistance(m, mhat, k);
+    const double flow = EarthMoversDistanceWithFlow(m, mhat, k);
+    EXPECT_NEAR(flow, cdf, 1e-5) << "trial " << trial;
+  }
+}
+
+TEST(DivergenceTest, EmdFlowSurplusMassReachesLastBucket) {
+  // Regression: surplus supply used to be silently dropped once the demand
+  // pointer ran off the end, under-reporting the distance.
+  const float m[] = {1.0f, 0.0f, 0.0f};
+  const float zero[] = {0.0f, 0.0f, 0.0f};
+  std::vector<double> flow;
+  EXPECT_NEAR(EarthMoversDistanceWithFlow(m, zero, 3, &flow), 2.0, 1e-12);
+  EXPECT_NEAR(flow[0 * 3 + 2], 1.0, 1e-12);  // all mass shipped to bucket 2
+  // Deficit side: extra forecast mass is matched from the last bucket.
+  EXPECT_NEAR(EarthMoversDistanceWithFlow(zero, m, 3, &flow), 2.0, 1e-12);
+  EXPECT_NEAR(flow[2 * 3 + 0], 1.0, 1e-12);
+}
+
+TEST(DivergenceTest, EmdFlowPlanConservesMass) {
+  // On equal-mass inputs the plan's row sums equal m and column sums equal
+  // m̂ — nothing is created or destroyed, and the plan prices out to the
+  // returned cost.
+  Rng rng(13);
+  for (int trial = 0; trial < 50; ++trial) {
+    constexpr int k = 5;
+    float m[k];
+    float mhat[k];
+    float sm = 0;
+    float sh = 0;
+    for (int i = 0; i < k; ++i) {
+      m[i] = static_cast<float>(rng.Uniform());
+      mhat[i] = static_cast<float>(rng.Uniform());
+      sm += m[i];
+      sh += mhat[i];
+    }
+    for (int i = 0; i < k; ++i) {
+      m[i] /= sm;
+      mhat[i] /= sh;
+    }
+    std::vector<double> flow;
+    const double cost = EarthMoversDistanceWithFlow(m, mhat, k, &flow);
+    double priced = 0;
+    for (int i = 0; i < k; ++i) {
+      double row = 0;
+      double col = 0;
+      for (int j = 0; j < k; ++j) {
+        row += flow[static_cast<size_t>(i * k + j)];
+        col += flow[static_cast<size_t>(j * k + i)];
+        priced += flow[static_cast<size_t>(i * k + j)] * std::abs(i - j);
+      }
+      EXPECT_NEAR(row, m[i], 1e-5) << "row " << i;
+      EXPECT_NEAR(col, mhat[i], 1e-5) << "col " << i;
+    }
+    EXPECT_NEAR(priced, cost, 1e-9);
+  }
+}
+
 TEST(DivergenceTest, MetricNamesAndDispatch) {
   const float m[] = {0.6f, 0.4f};
   const float mhat[] = {0.4f, 0.6f};
