@@ -9,9 +9,17 @@
 // Training writes rolling TrainingCheckpoint snapshots; run with `--resume`
 // after an interruption to continue from the newest valid snapshot —
 // bit-identically to a run that was never interrupted.
+//
+// `--serve` additionally stands up the micro-batched serving front-end
+// (docs/serving.md): the checkpointed model is compiled into a tape-free
+// ForwardPlan and a ForecastService answers a scripted query stream —
+// concurrent bursts that coalesce into shared batches plus repeated
+// current-interval reads served from the interval cache.
 
 #include <cstdio>
 #include <cstring>
+#include <future>
+#include <vector>
 
 #include "baselines/naive_histogram.h"
 #include "core/advanced_framework.h"
@@ -20,15 +28,19 @@
 #include "core/trainer.h"
 #include "nn/serialize.h"
 #include "od/trip_io.h"
+#include "serve/service.h"
 #include "sim/trip_generator.h"
 
 int main(int argc, char** argv) {
   bool resume = false;
+  bool serve = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--resume") == 0) {
       resume = true;
+    } else if (std::strcmp(argv[i], "--serve") == 0) {
+      serve = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--resume]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--resume] [--serve]\n", argv[0]);
       return 2;
     }
   }
@@ -109,5 +121,47 @@ int main(int argc, char** argv) {
               quality[0].Mean(odf::Metric::kKl),
               quality[0].Mean(odf::Metric::kJs),
               quality[0].Mean(odf::Metric::kEmd));
+
+  if (!serve) return 0;
+
+  // --- Serving front-end: compiled plan + micro-batching service. -------
+  // Compile AFTER the checkpoint load: the plan snapshots the model's
+  // parameters (and prepacks its weight matrices) at compile time.
+  odf::serve::ForwardPlan plan =
+      odf::serve::PlanCompiler::Compile(serving, dataset.history());
+  odf::serve::ForecastService service(&dataset, std::move(plan));
+  std::printf("serve: plan compiled; window=%lldus max_batch=%lld cache=%s\n",
+              static_cast<long long>(service.config().batch_window_us),
+              static_cast<long long>(service.config().max_batch),
+              service.config().cache_enabled ? "on" : "off");
+
+  // Scripted query stream: roll the current interval through the test
+  // split; each interval takes a burst of concurrent queries (coalesced
+  // into shared plan batches) plus repeated current-interval reads that
+  // come back from the cache after the first miss.
+  int64_t burst_served = 0;
+  int64_t cached_served = 0;
+  const size_t intervals = std::min<size_t>(8, split.test.size());
+  for (size_t idx = 0; idx < intervals; ++idx) {
+    service.SetCurrentInterval(split.test[idx]);
+    std::vector<std::future<odf::serve::ForecastResult>> burst;
+    for (size_t q = 0; q < 4 && idx + q < split.test.size(); ++q) {
+      burst.push_back(service.ForecastAsync(split.test[idx + q]));
+    }
+    for (auto& f : burst) {
+      const odf::serve::ForecastResult r = f.get();
+      ODF_CHECK(r != nullptr);
+      ODF_CHECK_EQ(static_cast<int64_t>(r->size()), service.horizon());
+      ++burst_served;
+    }
+    for (int q = 0; q < 16; ++q) {
+      ODF_CHECK(service.ForecastCurrent() != nullptr);
+      ++cached_served;
+    }
+  }
+  std::printf("serve: answered %lld burst queries and %lld current-interval "
+              "reads over %zu intervals\n",
+              static_cast<long long>(burst_served),
+              static_cast<long long>(cached_served), intervals);
   return 0;
 }

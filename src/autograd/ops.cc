@@ -317,6 +317,27 @@ Var SoftmaxLastDim(const Var& a) {
   });
 }
 
+Var FusedRecover(const Var& r, const Var& c, const Var& temperature) {
+  ODF_TRACE_SCOPE("fwd/", "FusedRecover", "fwd");
+  ODF_CHECK_EQ(temperature.value().numel(), 1);
+  const float tau = temperature.value()[0];
+  Tensor out = odf::FusedRecover(r.value(), c.value(), tau);
+  return MakeOpVar(
+      "FusedRecover", std::move(out), {r, c, temperature},
+      [tau](Node& node) {
+        const Tensor& rv = node.parents[0]->value;
+        const Tensor& cv = node.parents[1]->value;
+        Tensor dr(rv.shape());
+        Tensor dc(cv.shape());
+        const float dtau = odf::FusedRecoverGrad(rv, cv, tau, node.value,
+                                                 node.grad, &dr, &dc);
+        node.parents[0]->AccumulateGrad(dr);
+        node.parents[1]->AccumulateGrad(dc);
+        node.parents[2]->AccumulateGrad(
+            Tensor::Full(node.parents[2]->value.shape(), dtau));
+      });
+}
+
 Var SumAll(const Var& a) {
   ODF_TRACE_SCOPE("fwd/", "SumAll", "fwd");
   return MakeOpVar("SumAll", odf::SumAll(a.value()), {a}, [](Node& node) {

@@ -65,6 +65,15 @@ Var LogEps(const Var& a, float eps = 1e-8f);
 /// Softmax along the last axis.
 Var SoftmaxLastDim(const Var& a);
 
+/// Fused OD recovery (paper Eq. 8): for factor tensors r [B, N, β, K] and
+/// c [B, β, N', K] and a shape-{1} temperature τ, computes
+/// softmax_K(τ · Σ_β r ⊙ c) as [B, N, N', K] in one tape node over one
+/// batched kernel, replacing the permute + batched-GEMM + scalar-mul +
+/// softmax chain. Differentiable in r, c and τ; the serving path calls the
+/// same odf::FusedRecover kernel, so tape and compiled forwards match
+/// bit-for-bit.
+Var FusedRecover(const Var& r, const Var& c, const Var& temperature);
+
 // -- Reductions ----------------------------------------------------------------
 
 /// Sum of all elements -> shape {1}.

@@ -46,11 +46,12 @@ AdvancedFramework::AdvancedFramework(const RegionGraph& origin_graph,
     // Forecasting stage: CNRNN over the graph matching the factor's node
     // dimension (origin graph for R, destination graph for C; Sec. V-B).
     // One GraphOperator per graph (dense + CSR L̂) is shared by every
-    // encoder/decoder cell and the output head of that branch.
-    const auto origin_op =
-        GraphOperator::Make(ScaledLaplacian(origin_laplacian_));
-    const auto destination_op =
-        GraphOperator::Make(ScaledLaplacian(destination_laplacian_));
+    // encoder/decoder cell and the output head of that branch. The memoized
+    // factory also returns the identical instance across model rebuilds
+    // (e.g. constructing a serving copy before loading a checkpoint), so
+    // the power iteration runs once per distinct graph per process.
+    const auto origin_op = MakeScaledLaplacianOperator(w_origin);
+    const auto destination_op = MakeScaledLaplacianOperator(w_destination);
     r_seq_gc_ = std::make_unique<nn::Seq2SeqGcGru>(
         origin_op, factor_features, config_.gcgru_hidden, config_.cheb_order,
         init_rng_, config_.gcgru_layers);
@@ -90,15 +91,14 @@ AdvancedFramework::FactorBranch AdvancedFramework::BuildBranch(
   Tensor current_w = w;
   int64_t nodes = n;
   for (int64_t level = 0; level < config_.num_levels; ++level) {
-    const Tensor scaled =
-        ScaledLaplacian(Laplacian(current_w));
     const int64_t in_features = level == 0 ? num_buckets_
                                            : config_.conv_filters;
     const int64_t out_features = level == config_.num_levels - 1
                                      ? num_buckets_
                                      : config_.conv_filters;
     branch.convs.push_back(std::make_unique<nn::ChebConv>(
-        scaled, in_features, out_features, config_.cheb_order, init_rng_));
+        MakeScaledLaplacianOperator(current_w), in_features, out_features,
+        config_.cheb_order, init_rng_));
     RegisterSubmodule(branch.convs.back().get());
 
     std::vector<std::vector<int64_t>> clusters;

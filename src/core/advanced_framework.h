@@ -74,6 +74,8 @@ class AdvancedFramework : public NeuralForecaster {
   int64_t rank() const { return rank_; }
 
  private:
+  friend class odf::serve::PlanCompiler;
+
   /// One conv+pool factorization branch over one graph.
   struct FactorBranch {
     std::vector<std::unique_ptr<nn::ChebConv>> convs;

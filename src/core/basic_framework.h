@@ -46,6 +46,8 @@ class BasicFramework : public NeuralForecaster {
   std::vector<Tensor> Predict(const Batch& batch) override;
 
  private:
+  friend class odf::serve::PlanCompiler;
+
   struct Forward {
     std::vector<autograd::Var> predictions;  // h × [B, N, N', K]
     std::vector<autograd::Var> r_factors;    // h × [B, N, β, K]

@@ -28,13 +28,19 @@ ag::Var FactorProduct(const ag::Var& r, const ag::Var& c) {
 }
 
 ag::Var RecoverFullTensor(const ag::Var& r, const ag::Var& c) {
-  return ag::SoftmaxLastDim(FactorProduct(r, c));
+  // τ = 1 (an exact multiplicative identity), so this matches the fused
+  // temperature path bit-for-bit.
+  return ag::FusedRecover(r, c,
+                          ag::Var::Constant(Tensor::Scalar(1.0f)));
 }
 
 ag::Var RecoverFullTensorWithTemperature(const ag::Var& r, const ag::Var& c,
                                          const ag::Var& temperature) {
   ODF_CHECK_EQ(temperature.value().numel(), 1);
-  return ag::SoftmaxLastDim(ag::Mul(FactorProduct(r, c), temperature));
+  // One batched kernel instead of FactorProduct + Mul + SoftmaxLastDim;
+  // FactorProduct above stays as the reference implementation the parity
+  // tests compare against.
+  return ag::FusedRecover(r, c, temperature);
 }
 
 }  // namespace odf

@@ -1,12 +1,58 @@
 #include "graph/laplacian.h"
 
+#include <atomic>
 #include <cmath>
+#include <cstring>
+#include <deque>
+#include <mutex>
 #include <vector>
 
 #include "tensor/linalg.h"
 #include "tensor/tensor_ops.h"
+#include "util/env_config.h"
 
 namespace odf {
+
+namespace {
+
+// Process-wide cache for MakeScaledLaplacianOperator, keyed by the exact
+// contents of `w` (plus the explicit lambda_max and the sparse-path mode in
+// effect). Loading a model snapshot for serving rebuilds the same region
+// graphs the training process used, and without the cache every cell
+// construction re-runs the 200-iteration power iteration; with it, all
+// models built from one weight matrix share one GraphOperator instance.
+// Bounded FIFO — graph matrices are few and small, 64 covers any realistic
+// process; tests may hold more via ClearScaledLaplacianOperatorCache.
+struct OperatorCacheEntry {
+  Tensor key;  // the weight matrix w
+  float lambda_max;
+  int64_t sparse_mode;
+  std::shared_ptr<const GraphOperator> op;
+};
+
+constexpr size_t kOperatorCacheCapacity = 64;
+
+std::mutex& OperatorCacheMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+std::deque<OperatorCacheEntry>& OperatorCache() {
+  static std::deque<OperatorCacheEntry>* cache =
+      new std::deque<OperatorCacheEntry>();
+  return *cache;
+}
+
+std::atomic<uint64_t> g_operator_cache_hits{0};
+std::atomic<uint64_t> g_operator_cache_misses{0};
+
+bool SameContents(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) return false;
+  return std::memcmp(a.data(), b.data(),
+                     static_cast<size_t>(a.numel()) * sizeof(float)) == 0;
+}
+
+}  // namespace
 
 Tensor DegreeVector(const Tensor& w) {
   ODF_CHECK_EQ(w.rank(), 2);
@@ -77,7 +123,44 @@ Tensor ScaledLaplacian(const Tensor& laplacian, float lambda_max) {
 
 std::shared_ptr<const GraphOperator> MakeScaledLaplacianOperator(
     const Tensor& w, float lambda_max) {
-  return GraphOperator::Make(ScaledLaplacian(Laplacian(w), lambda_max));
+  // The env override participates in the key so a test that flips
+  // ODF_SPARSE_GRAPH between constructions is not served a stale path.
+  const int64_t sparse_mode = GetEnvInt("ODF_SPARSE_GRAPH", -1);
+  {
+    std::lock_guard<std::mutex> lock(OperatorCacheMutex());
+    for (const OperatorCacheEntry& e : OperatorCache()) {
+      if (e.lambda_max == lambda_max && e.sparse_mode == sparse_mode &&
+          SameContents(e.key, w)) {
+        g_operator_cache_hits.fetch_add(1, std::memory_order_relaxed);
+        return e.op;
+      }
+    }
+  }
+  g_operator_cache_misses.fetch_add(1, std::memory_order_relaxed);
+  // Power iteration + operator build run outside the lock; a racing miss on
+  // the same key costs one redundant build, never a wrong result.
+  std::shared_ptr<const GraphOperator> op =
+      GraphOperator::Make(ScaledLaplacian(Laplacian(w), lambda_max));
+  {
+    std::lock_guard<std::mutex> lock(OperatorCacheMutex());
+    auto& cache = OperatorCache();
+    cache.push_back(OperatorCacheEntry{w, lambda_max, sparse_mode, op});
+    while (cache.size() > kOperatorCacheCapacity) cache.pop_front();
+  }
+  return op;
+}
+
+uint64_t ScaledLaplacianOperatorCacheHits() {
+  return g_operator_cache_hits.load(std::memory_order_relaxed);
+}
+
+uint64_t ScaledLaplacianOperatorCacheMisses() {
+  return g_operator_cache_misses.load(std::memory_order_relaxed);
+}
+
+void ClearScaledLaplacianOperatorCache() {
+  std::lock_guard<std::mutex> lock(OperatorCacheMutex());
+  OperatorCache().clear();
 }
 
 }  // namespace odf

@@ -1,6 +1,7 @@
 #ifndef ODF_GRAPH_LAPLACIAN_H_
 #define ODF_GRAPH_LAPLACIAN_H_
 
+#include <cstdint>
 #include <memory>
 
 #include "tensor/csr.h"
@@ -34,8 +35,19 @@ Tensor ScaledLaplacian(const Tensor& laplacian, float lambda_max = -1.0f);
 /// L̂ = ScaledLaplacian(Laplacian(w)) held once in dense and CSR form, the
 /// compute path auto-selected from density (see tensor/csr.h). Every layer
 /// convolving the same graph should share the returned pointer.
+///
+/// Results are memoized process-wide on the contents of `w` (plus
+/// `lambda_max` and the ODF_SPARSE_GRAPH mode), so repeated construction —
+/// in particular rebuilding a model to load a checkpoint for serving —
+/// skips the power iteration and returns the *same* GraphOperator instance
+/// as the first call. Thread-safe; bounded FIFO eviction.
 std::shared_ptr<const GraphOperator> MakeScaledLaplacianOperator(
     const Tensor& w, float lambda_max = -1.0f);
+
+/// Cache observability for MakeScaledLaplacianOperator (tests and metrics).
+uint64_t ScaledLaplacianOperatorCacheHits();
+uint64_t ScaledLaplacianOperatorCacheMisses();
+void ClearScaledLaplacianOperatorCache();
 
 }  // namespace odf
 

@@ -58,6 +58,8 @@ class ChebConv : public Module {
   const std::shared_ptr<const GraphOperator>& graph_op() const { return op_; }
 
  private:
+  friend class odf::serve::PlanCompiler;
+
   int64_t in_features_;
   int64_t out_features_;
   int64_t order_;

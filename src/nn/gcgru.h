@@ -47,6 +47,8 @@ class GcGruCell : public Module {
   const std::shared_ptr<const GraphOperator>& graph_op() const { return op_; }
 
  private:
+  friend class odf::serve::PlanCompiler;
+
   int64_t input_features_;
   int64_t hidden_features_;
   int64_t order_;
@@ -85,6 +87,8 @@ class Seq2SeqGcGru : public Module {
   }
 
  private:
+  friend class odf::serve::PlanCompiler;
+
   std::vector<std::unique_ptr<GcGruCell>> encoder_layers_;
   std::vector<std::unique_ptr<GcGruCell>> decoder_layers_;
   std::unique_ptr<ChebConv> output_head_;

@@ -1,6 +1,7 @@
 #ifndef ODF_NN_GRAPH_POOL_H_
 #define ODF_NN_GRAPH_POOL_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "autograd/var.h"
@@ -20,6 +21,16 @@ enum class PoolKind { kAverage, kMax };
 autograd::Var GraphPool(const autograd::Var& x,
                         const std::vector<std::vector<int64_t>>& clusters,
                         PoolKind kind);
+
+/// Value-only forward of GraphPool into a preallocated [B, n_c, F] output
+/// (the serving path). When `argmax` is non-null it is resized to
+/// B·n_c·F and records the winning source node per cell for max pooling
+/// (the tape's backward needs it; inference passes nullptr). Shared by the
+/// differentiable wrapper above, so both paths pool bit-identically.
+void GraphPoolForwardInto(const Tensor& x,
+                          const std::vector<std::vector<int64_t>>& clusters,
+                          PoolKind kind, Tensor* out,
+                          std::vector<int32_t>* argmax);
 
 }  // namespace odf::nn
 

@@ -1,0 +1,210 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "util/env_config.h"
+#include "util/metrics.h"
+
+namespace odf::serve {
+
+namespace {
+
+struct ServeMetrics {
+  Counter& requests =
+      MetricsRegistry::Global().GetCounter("serve.requests");
+  Counter& batches = MetricsRegistry::Global().GetCounter("serve.batches");
+  Counter& cache_hits =
+      MetricsRegistry::Global().GetCounter("serve.cache_hits");
+  Counter& cache_misses =
+      MetricsRegistry::Global().GetCounter("serve.cache_misses");
+  Gauge& queue_depth =
+      MetricsRegistry::Global().GetGauge("serve.queue_depth");
+  Histogram& request_seconds =
+      MetricsRegistry::Global().GetHistogram("serve.request_seconds");
+  Histogram& cached_request_seconds =
+      MetricsRegistry::Global().GetHistogram("serve.cached_request_seconds");
+  Histogram& batch_forward_seconds =
+      MetricsRegistry::Global().GetHistogram("serve.batch_forward_seconds");
+  Histogram& batch_size =
+      MetricsRegistry::Global().GetHistogram("serve.batch_size");
+};
+
+ServeMetrics& Metrics() {
+  static ServeMetrics m;
+  return m;
+}
+
+}  // namespace
+
+ServeConfig ServeConfig::FromEnv() {
+  ServeConfig config;
+  config.max_batch = GetEnvInt("ODF_SERVE_MAX_BATCH", config.max_batch);
+  config.batch_window_us =
+      GetEnvInt("ODF_SERVE_BATCH_WINDOW_US", config.batch_window_us);
+  config.cache_enabled = GetEnvBool("ODF_SERVE_CACHE", config.cache_enabled);
+  return config;
+}
+
+ForecastService::ForecastService(const ForecastDataset* dataset,
+                                 ForwardPlan plan, ServeConfig config)
+    : dataset_(dataset), plan_(std::move(plan)), config_(config) {
+  ODF_CHECK(dataset_ != nullptr);
+  ODF_CHECK_EQ(plan_.history(), dataset_->history());
+  ODF_CHECK_GE(config_.max_batch, 1);
+  ODF_CHECK_GE(config_.batch_window_us, 0);
+  worker_ = std::thread(&ForecastService::WorkerLoop, this);
+}
+
+ForecastService::~ForecastService() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  worker_.join();
+}
+
+std::future<ForecastResult> ForecastService::ForecastAsync(int64_t sample) {
+  ODF_CHECK_GE(sample, 0);
+  ODF_CHECK_LT(sample, dataset_->NumSamples());
+  Metrics().requests.Add(1);
+  std::promise<ForecastResult> promise;
+  std::future<ForecastResult> future = promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::promise<ForecastResult>>& waiters = pending_[sample];
+    if (waiters.empty()) order_.push_back(sample);
+    waiters.push_back(std::move(promise));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+ForecastResult ForecastService::Forecast(int64_t sample) {
+  ScopedTimer timer(Metrics().request_seconds);
+  return ForecastAsync(sample).get();
+}
+
+ForecastResult ForecastService::ForecastCurrent() {
+  ScopedTimer timer(Metrics().cached_request_seconds);
+  int64_t sample;
+  if (config_.cache_enabled) {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    if (cached_ != nullptr && cached_interval_ == current_) {
+      Metrics().cache_hits.Add(1);
+      return cached_;
+    }
+    Metrics().cache_misses.Add(1);
+    sample = current_;
+  } else {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    sample = current_;
+  }
+  ForecastResult result = Forecast(sample);
+  if (config_.cache_enabled) {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    // Only publish if the interval did not roll over mid-flight.
+    if (current_ == sample) {
+      cached_ = result;
+      cached_interval_ = sample;
+    }
+  }
+  return result;
+}
+
+void ForecastService::SetCurrentInterval(int64_t sample) {
+  ODF_CHECK_GE(sample, 0);
+  ODF_CHECK_LT(sample, dataset_->NumSamples());
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  if (sample == current_) return;
+  current_ = sample;
+  cached_.reset();
+  cached_interval_ = -1;
+}
+
+int64_t ForecastService::current_interval() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return current_;
+}
+
+void ForecastService::WorkerLoop() {
+  std::vector<int64_t> samples;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stop_ || !order_.empty(); });
+      if (order_.empty()) return;  // stop_ and drained
+      if (static_cast<int64_t>(order_.size()) < config_.max_batch &&
+          config_.batch_window_us > 0) {
+        // Latency budget: hold the batch open briefly for more arrivals.
+        const auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::microseconds(config_.batch_window_us);
+        cv_.wait_until(lock, deadline, [&] {
+          return stop_ ||
+                 static_cast<int64_t>(order_.size()) >= config_.max_batch;
+        });
+      }
+      samples.clear();
+      while (!order_.empty() &&
+             static_cast<int64_t>(samples.size()) < config_.max_batch) {
+        samples.push_back(order_.front());
+        order_.pop_front();
+      }
+      Metrics().queue_depth.Set(static_cast<double>(order_.size()));
+    }
+    RunBatch(samples);
+  }
+}
+
+void ForecastService::RunBatch(const std::vector<int64_t>& samples) {
+  Batch batch = dataset_->MakeBatch(samples);
+  {
+    ScopedTimer timer(Metrics().batch_forward_seconds);
+    plan_.Run(batch.inputs);
+  }
+  Metrics().batches.Add(1);
+  Metrics().batch_size.Record(samples.size());
+
+  const int64_t horizon = plan_.horizon();
+  std::vector<ForecastResult> results;
+  results.reserve(samples.size());
+  for (size_t row = 0; row < samples.size(); ++row) {
+    auto forecast = std::make_shared<std::vector<Tensor>>();
+    forecast->reserve(static_cast<size_t>(horizon));
+    for (int64_t j = 0; j < horizon; ++j) {
+      const Tensor& out = plan_.output(j);  // [B, N, N', K]
+      std::vector<int64_t> dims(out.shape().dims().begin() + 1,
+                                out.shape().dims().end());
+      Tensor slice{Shape(dims)};
+      const int64_t stride = slice.numel();
+      std::copy(out.data() + static_cast<int64_t>(row) * stride,
+                out.data() + static_cast<int64_t>(row + 1) * stride,
+                slice.data());
+      forecast->push_back(std::move(slice));
+    }
+    results.push_back(std::move(forecast));
+  }
+
+  // Fulfill outside mu_ so waiters never contend with the queue.
+  std::vector<std::vector<std::promise<ForecastResult>>> waiters;
+  waiters.reserve(samples.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int64_t sample : samples) {
+      auto it = pending_.find(sample);
+      ODF_CHECK(it != pending_.end());
+      waiters.push_back(std::move(it->second));
+      pending_.erase(it);
+    }
+  }
+  for (size_t i = 0; i < waiters.size(); ++i) {
+    for (std::promise<ForecastResult>& promise : waiters[i]) {
+      promise.set_value(results[i]);
+    }
+  }
+}
+
+}  // namespace odf::serve

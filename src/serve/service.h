@@ -1,0 +1,114 @@
+#ifndef ODF_SERVE_SERVICE_H_
+#define ODF_SERVE_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "od/dataset.h"
+#include "serve/forward_plan.h"
+
+namespace odf::serve {
+
+/// Serving front-end knobs (docs/serving.md).
+struct ServeConfig {
+  /// Largest number of distinct samples coalesced into one plan execution.
+  int64_t max_batch = 8;
+  /// How long the worker waits for more queries to arrive after the first
+  /// one before closing a batch (the latency budget). 0 disables coalescing.
+  int64_t batch_window_us = 200;
+  /// Serve repeated current-interval queries from one cached snapshot.
+  bool cache_enabled = true;
+
+  /// Reads ODF_SERVE_MAX_BATCH / ODF_SERVE_BATCH_WINDOW_US / ODF_SERVE_CACHE
+  /// (util/env_config.h) over the defaults above.
+  static ServeConfig FromEnv();
+};
+
+/// One forecast: `horizon` tensors, each [N, N', K], for a single sample.
+/// Shared so concurrent queries for the same sample (and every cache hit)
+/// alias one immutable snapshot instead of copying it.
+using ForecastResult = std::shared_ptr<const std::vector<Tensor>>;
+
+/// Micro-batching forecast server over one compiled ForwardPlan.
+///
+/// Queries enqueue a sample index and block on a future; a single worker
+/// thread coalesces everything that arrives within `batch_window_us` of the
+/// first queued query (up to `max_batch` distinct samples) into one batched
+/// plan execution, then slices the per-sample forecasts back out. Duplicate
+/// sample indices inside one window share a batch row and a result snapshot.
+///
+/// The interval cache additionally pins the forecast of the designated
+/// "current" interval: after the first miss, `ForecastCurrent` is a lock +
+/// shared_ptr copy until `SetCurrentInterval` rolls the interval over.
+///
+/// Instrumentation (util/metrics.h, enabled via ODF_METRICS):
+///   counters   serve.requests, serve.batches, serve.cache_hits,
+///              serve.cache_misses
+///   gauge      serve.queue_depth (after each batch is cut)
+///   histograms serve.request_seconds, serve.cached_request_seconds,
+///              serve.batch_forward_seconds, serve.batch_size (a count,
+///              not a duration), plus the plan's serve.plan.* family.
+///
+/// The dataset must outlive the service (as must the model the plan was
+/// compiled from). All public methods are thread-safe.
+class ForecastService {
+ public:
+  ForecastService(const ForecastDataset* dataset, ForwardPlan plan,
+                  ServeConfig config = ServeConfig::FromEnv());
+  ~ForecastService();
+
+  ForecastService(const ForecastService&) = delete;
+  ForecastService& operator=(const ForecastService&) = delete;
+
+  /// Blocking forecast of dataset sample `sample`.
+  ForecastResult Forecast(int64_t sample);
+
+  /// Enqueues a forecast of sample `sample` without blocking.
+  std::future<ForecastResult> ForecastAsync(int64_t sample);
+
+  /// Forecast of the current interval's sample, served from the cache when
+  /// it is warm. The first call after a rollover (or with the cache
+  /// disabled) falls through to Forecast.
+  ForecastResult ForecastCurrent();
+
+  /// Rolls the current interval over to `sample`, invalidating the cache
+  /// when it actually changes.
+  void SetCurrentInterval(int64_t sample);
+
+  int64_t current_interval() const;
+  const ServeConfig& config() const { return config_; }
+  int64_t horizon() const { return plan_.horizon(); }
+
+ private:
+  void WorkerLoop();
+  void RunBatch(const std::vector<int64_t>& samples);
+
+  const ForecastDataset* dataset_;
+  ForwardPlan plan_;
+  ServeConfig config_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::deque<int64_t> order_;  // distinct queued samples, arrival order
+  std::unordered_map<int64_t, std::vector<std::promise<ForecastResult>>>
+      pending_;
+
+  mutable std::mutex cache_mu_;
+  int64_t current_ = 0;
+  int64_t cached_interval_ = -1;
+  ForecastResult cached_;
+
+  std::thread worker_;
+};
+
+}  // namespace odf::serve
+
+#endif  // ODF_SERVE_SERVICE_H_

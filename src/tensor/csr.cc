@@ -97,7 +97,7 @@ enum class SpmmEpilogue {
 // width). `other` is only dereferenced by the epilogues that use it.
 // Accumulation per output element is in ascending column order of `a`,
 // independent of thread count.
-template <SpmmEpilogue kEp>
+template <SpmmEpilogue kEp, bool kSerial = false>
 void SpmmTiled(const CsrMatrix& a, int64_t batch, int64_t f,
                const float* x, int64_t ldx, const float* other,
                int64_t ldother, float* out, int64_t ldo) {
@@ -110,7 +110,12 @@ void SpmmTiled(const CsrMatrix& a, int64_t batch, int64_t f,
 
   const int64_t flops_per_row =
       std::max<int64_t>(1, 2 * a.nnz() / std::max<int64_t>(1, rows) * f);
-  const int64_t grain = std::max<int64_t>(1, kSpmmGrainFlops / flops_per_row);
+  // kSerial callers (the compiled serving path) run the whole range inline:
+  // chunk partitioning never changes per-element results, only who computes
+  // them, so this is purely a dispatch-cost decision.
+  const int64_t grain =
+      kSerial ? batch * rows
+              : std::max<int64_t>(1, kSpmmGrainFlops / flops_per_row);
   ParallelFor(batch * rows, grain, [&](int64_t t0, int64_t t1) {
     float acc[kFTile];
     for (int64_t t = t0; t < t1; ++t) {
@@ -124,13 +129,19 @@ void SpmmTiled(const CsrMatrix& a, int64_t batch, int64_t f,
       const int64_t end = rp[i + 1];
       for (int64_t f0 = 0; f0 < f; f0 += kFTile) {
         const int64_t fw = std::min(kFTile, f - f0);
-        auto accumulate = [&](int64_t width) {
+        // `width` must be a compile-time constant on the full-tile path so
+        // the accumulator block registerizes across the nonzero loop (a
+        // runtime bound forces acc through the stack every iteration).
+        auto accumulate = [&]<bool kFull>(int64_t width) {
+          if constexpr (kFull) width = kFTile;
           for (int64_t c = 0; c < width; ++c) acc[c] = 0.0f;
           for (int64_t idx = begin; idx < end; ++idx) {
             const float v = av[idx];
             const float* __restrict xrow =
                 xb + static_cast<int64_t>(ci[idx]) * ldx + f0;
-            for (int64_t c = 0; c < width; ++c) acc[c] += v * xrow[c];
+            for (int64_t c = 0; c < width; ++c) {
+              acc[c] = ODF_FMADD(v, xrow[c], acc[c]);
+            }
           }
           for (int64_t c = 0; c < width; ++c) {
             if constexpr (kEp == SpmmEpilogue::kStore) {
@@ -145,11 +156,9 @@ void SpmmTiled(const CsrMatrix& a, int64_t batch, int64_t f,
           }
         };
         if (fw == kFTile) {
-          // Full tile: compile-time trip count so the accumulators stay in
-          // vector registers across the whole row.
-          accumulate(kFTile);
+          accumulate.template operator()<true>(kFTile);
         } else {
-          accumulate(fw);
+          accumulate.template operator()<false>(fw);
         }
       }
     }
@@ -197,8 +206,8 @@ void CopyRows(int64_t rows, int64_t f, const float* src, int64_t ld_src,
 
 }  // namespace
 
-Tensor ChebyshevBasis(const GraphOperator& op, const Tensor& x,
-                      int64_t order) {
+void ChebyshevBasisInto(const GraphOperator& op, const Tensor& x,
+                        int64_t order, Tensor* out) {
   ODF_TRACE_SCOPE("kernel/", "cheb_basis", "kernel");
   static Histogram& cheb_hist =
       MetricsRegistry::Global().GetHistogram("cheb_basis.seconds");
@@ -209,11 +218,11 @@ Tensor ChebyshevBasis(const GraphOperator& op, const Tensor& x,
   const int64_t n = x.dim(1);
   const int64_t f = x.dim(2);
   ODF_CHECK_EQ(n, op.nodes());
-  Tensor out(Shape({batch, n, order * f}));
+  ODF_CHECK(out->shape() == Shape({batch, n, order * f}));
   const int64_t ld = order * f;
-  float* po = out.data();
+  float* po = out->data();
   CopyRows(batch * n, f, x.data(), f, po, ld);  // T_1 = x
-  if (order == 1 || f == 0) return out;
+  if (order == 1 || f == 0) return;
 
   if (op.use_sparse()) {
     const CsrMatrix& a = op.csr();
@@ -226,7 +235,7 @@ Tensor ChebyshevBasis(const GraphOperator& op, const Tensor& x,
                                             po + (s - 2) * f, ld, po + s * f,
                                             ld);
     }
-    return out;
+    return;
   }
 
   // Dense path: the blocked GEMM needs contiguous operands, so keep the two
@@ -248,6 +257,106 @@ Tensor ChebyshevBasis(const GraphOperator& op, const Tensor& x,
     prev2 = std::move(prev);
     prev = std::move(cur);
   }
+}
+
+void ChebyshevBasisWideInto(const GraphOperator& op, const Tensor& x,
+                            int64_t order, Tensor* out, Tensor* w0,
+                            Tensor* w1, Tensor* w2) {
+  ODF_CHECK_GT(order, 0);
+  ODF_CHECK_EQ(x.rank(), 3);
+  const int64_t batch = x.dim(0);
+  const int64_t n = x.dim(1);
+  const int64_t f = x.dim(2);
+  ODF_CHECK_EQ(n, op.nodes());
+  ODF_CHECK(out->shape() == Shape({batch, n, order * f}));
+  const int64_t ld = order * f;
+  const float* px = x.data();
+  float* po = out->data();
+  if (order == 1 || f == 0) {
+    for (int64_t t = 0; t < batch * n; ++t) {
+      std::memcpy(po + t * ld, px + t * f,
+                  static_cast<size_t>(f) * sizeof(float));
+    }
+    return;
+  }
+
+  const int64_t wide = batch * f;
+  ODF_CHECK_GE(w0->numel(), n * wide);
+  ODF_CHECK_GE(w1->numel(), n * wide);
+  ODF_CHECK_GE(w2->numel(), n * wide);
+  float* bufs[3] = {w0->data(), w1->data(), w2->data()};
+
+  // The per-row copies below move only a handful of floats each (f is a
+  // feature count, typically 7–21), so a library memcpy call per row would
+  // dominate the whole basis. Inline element loops keep them in-register.
+  //
+  // One pass over x does double duty: T_1 lands in its feature-column slice
+  // of `out`, and the transpose-in fills bufs[0][i, b·f + c] = x[b, i, c] —
+  // node-major, so every SpMM row visit streams `wide` contiguous floats.
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t i = 0; i < n; ++i) {
+      const float* __restrict src = px + (b * n + i) * f;
+      float* __restrict t1 = po + (b * n + i) * ld;
+      float* __restrict tr = bufs[0] + i * wide + b * f;
+      for (int64_t c = 0; c < f; ++c) {
+        t1[c] = src[c];
+        tr[c] = src[c];
+      }
+    }
+  }
+  // Scatter a wide tap back into feature-column slice `s` of `out`. Reads
+  // stream through `tap` (i-major) while writes stride by `ld`.
+  const auto scatter = [&](const float* tap, int64_t s) {
+    for (int64_t i = 0; i < n; ++i) {
+      const float* __restrict trow = tap + i * wide;
+      for (int64_t b = 0; b < batch; ++b) {
+        float* __restrict dst = po + (b * n + i) * ld + s * f;
+        for (int64_t c = 0; c < f; ++c) dst[c] = trow[b * f + c];
+      }
+    }
+  };
+
+  // T_2 = L̂·T_1, then T_s = 2·L̂·T_{s-1} − T_{s-2}, all in wide layout.
+  if (!op.use_sparse()) {
+    // Dense graph: one blocked [n,n] x [n,wide] GEMM per tap keeps the full
+    // register-tile accumulator block hot — far higher throughput than the
+    // row-chained SpMM on a dense operator. Zero-skip transparency plus the
+    // shared fused-accumulation policy (ODF_FMADD) makes the result bit-
+    // identical to the CSR path. The 2·(L̂T) − T_{s-2} combine runs as a
+    // separate in-place pass; 2·x is exact, so the subtraction rounds once
+    // either way and matches the SpMM's fused epilogue bit-for-bit.
+    const float* pl = op.dense().data();
+    for (int64_t s = 1; s < order; ++s) {
+      float* cur = bufs[s % 3];
+      std::fill(cur, cur + n * wide, 0.0f);
+      GemmRawInto(pl, bufs[(s - 1) % 3], cur, n, n, wide);
+      if (s >= 2) {
+        const float* __restrict p2 = bufs[(s - 2) % 3];
+        for (int64_t e = 0; e < n * wide; ++e) cur[e] = 2.0f * cur[e] - p2[e];
+      }
+      scatter(cur, s);
+    }
+    return;
+  }
+
+  const CsrMatrix& a = op.csr();
+  SpmmTiled<SpmmEpilogue::kStore, /*kSerial=*/true>(
+      a, 1, wide, bufs[0], wide, nullptr, 0, bufs[1], wide);
+  scatter(bufs[1], 1);
+  for (int64_t s = 2; s < order; ++s) {
+    SpmmTiled<SpmmEpilogue::kChebCombine, /*kSerial=*/true>(
+        a, 1, wide, bufs[(s - 1) % 3], wide, bufs[(s - 2) % 3], wide,
+        bufs[s % 3], wide);
+    scatter(bufs[s % 3], s);
+  }
+}
+
+Tensor ChebyshevBasis(const GraphOperator& op, const Tensor& x,
+                      int64_t order) {
+  ODF_CHECK_GT(order, 0);
+  ODF_CHECK_EQ(x.rank(), 3);
+  Tensor out(Shape({x.dim(0), x.dim(1), order * x.dim(2)}));
+  ChebyshevBasisInto(op, x, order, &out);
   return out;
 }
 

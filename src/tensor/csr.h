@@ -70,6 +70,28 @@ class GraphOperator;
 /// by `op`. Deterministic for every thread count.
 Tensor ChebyshevBasis(const GraphOperator& op, const Tensor& x, int64_t order);
 
+/// ChebyshevBasis into a preallocated [B, n, order·F] output (the serving
+/// path's arena buffers); shares the kernel above, so results are
+/// bit-identical to it.
+void ChebyshevBasisInto(const GraphOperator& op, const Tensor& x,
+                        int64_t order, Tensor* out);
+
+/// ChebyshevBasis in node-major ("wide") layout for the compiled serving
+/// path. The taps are mathematically the recurrence above, but each
+/// L̂-product runs as ONE sparse × [n, B·F] product instead of B skinny
+/// [n, F] products: x is transposed so that batch and features fuse into one
+/// wide row, the register-tiled SpMM streams full tiles, and each tap is
+/// scattered back into `out` [B, n, order·F]. Per output element the
+/// accumulation is still a's row in ascending column order — the identical
+/// sum, term for term, as the narrow kernels — so results are bit-identical
+/// to ChebyshevBasisInto at every thread count (asserted by
+/// tests/serving_test.cc on trained checkpoints). `w0`/`w1`/`w2` are
+/// caller-owned scratch of at least B·n·F floats each (the serving arena);
+/// the kernel runs serially and allocates nothing.
+void ChebyshevBasisWideInto(const GraphOperator& op, const Tensor& x,
+                            int64_t order, Tensor* out, Tensor* w0,
+                            Tensor* w1, Tensor* w2);
+
 /// Adjoint of ChebyshevBasis: given dY [B, n, order·F], returns dX [B, n, F]
 /// by running the recurrence in reverse with L̂ᵀ.
 Tensor ChebyshevBasisGrad(const GraphOperator& op, const Tensor& grad,

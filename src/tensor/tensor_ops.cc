@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <vector>
 
 #include "tensor/fast_math.h"
@@ -187,6 +188,17 @@ void GemmRows(const float* pa, const float* bpack, float* po, int64_t k,
   }
 }
 
+// Per-thread A-packing scratch (kMC x kKC, fixed size). PackA fully writes
+// every element it later reads — padding included — so the buffer is never
+// zero-initialized; reusing it across calls removes a 64 KB value-init from
+// every blocked GEMM, which dominates small serving-sized products.
+float* ApackScratch() {
+  thread_local std::unique_ptr<float[]> buf =
+      std::make_unique_for_overwrite<float[]>(
+          static_cast<size_t>(kMC * kKC));
+  return buf.get();
+}
+
 // True when the blocked path would waste more on packing than it gains:
 // small problems and degenerate (vector-like) operands.
 bool UseNaiveGemm(int64_t m, int64_t k, int64_t n) {
@@ -201,20 +213,22 @@ void Gemm(const float* pa, const float* pb, float* po, int64_t m, int64_t k,
     GemmNaive(pa, pb, po, m, k, n);
     return;
   }
-  std::vector<float> bpack(static_cast<size_t>(NumJTiles(n) * k * kNR));
+  // PackBTile fully writes each tile (padding included), so the pack buffer
+  // is allocated uninitialized.
+  auto bpack = std::make_unique_for_overwrite<float[]>(
+      static_cast<size_t>(NumJTiles(n) * k * kNR));
   const int64_t pack_grain =
       std::max<int64_t>(1, kElemGrain / std::max<int64_t>(1, k * kNR));
   ParallelFor(NumJTiles(n), pack_grain, [&](int64_t t0, int64_t t1) {
-    for (int64_t jt = t0; jt < t1; ++jt) PackBTile(pb, k, n, jt, bpack.data());
+    for (int64_t jt = t0; jt < t1; ++jt) PackBTile(pb, k, n, jt, bpack.get());
   });
   const int64_t num_blocks = (m + kMC - 1) / kMC;
   const int64_t flops_per_block = std::min(kMC, m) * k * n;
   const int64_t grain = std::max<int64_t>(
       1, kGemmNaiveFlops / std::max<int64_t>(1, flops_per_block));
   ParallelFor(num_blocks, grain, [&](int64_t b0, int64_t b1) {
-    std::vector<float> apack(static_cast<size_t>(kMC * kKC));
-    GemmRows(pa, bpack.data(), po, k, n, b0 * kMC, std::min(m, b1 * kMC),
-             apack.data());
+    GemmRows(pa, bpack.get(), po, k, n, b0 * kMC, std::min(m, b1 * kMC),
+             ApackScratch());
   });
 }
 
@@ -224,22 +238,143 @@ void ParallelElems(int64_t n, const Body& body) {
   ParallelFor(n, kElemGrain, body);
 }
 
+}  // namespace
+
+namespace {
+
+// Widest output for the register-strip small-N kernel below. The serving
+// models' weight matmuls are all this narrow (n = buckets, filters or
+// hidden size), where the blocked path's packing and edge tiles cost more
+// than the multiply itself.
+constexpr int64_t kSmallNMax = 16;
+
+// [rows, k] x [k, n] against a B copy whose rows are zero-padded to width P
+// (compile-time, so the P-column accumulator strips registerize). Each
+// output element accumulates a[i, :]·b[:, j] in ascending k — the identical
+// per-element sum, term for term, as GemmNaive — and padding columns are
+// computed into registers but never stored, so results are bit-identical to
+// the unpacked kernels. Serial.
+template <int64_t P>
+void GemmSmallPadded(const float* a, const float* bp, float* po, int64_t rows,
+                     int64_t k, int64_t n) {
+  constexpr int64_t R = 4;  // row strip: R·P accumulators
+  int64_t i = 0;
+  for (; i + R <= rows; i += R) {
+    float acc[R][P] = {};
+    const float* a0 = a + i * k;
+    const float* a1 = a0 + k;
+    const float* a2 = a1 + k;
+    const float* a3 = a2 + k;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float* brow = bp + kk * P;
+      const float v0 = a0[kk];
+      const float v1 = a1[kk];
+      const float v2 = a2[kk];
+      const float v3 = a3[kk];
+      for (int64_t j = 0; j < P; ++j) {
+        acc[0][j] = ODF_FMADD(v0, brow[j], acc[0][j]);
+        acc[1][j] = ODF_FMADD(v1, brow[j], acc[1][j]);
+        acc[2][j] = ODF_FMADD(v2, brow[j], acc[2][j]);
+        acc[3][j] = ODF_FMADD(v3, brow[j], acc[3][j]);
+      }
+    }
+    for (int64_t r = 0; r < R; ++r) {
+      float* orow = po + (i + r) * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] = acc[r][j];
+    }
+  }
+  for (; i < rows; ++i) {
+    float acc[P] = {};
+    const float* ar = a + i * k;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float* brow = bp + kk * P;
+      const float v = ar[kk];
+      for (int64_t j = 0; j < P; ++j) acc[j] = ODF_FMADD(v, brow[j], acc[j]);
+    }
+    float* orow = po + i * n;
+    for (int64_t j = 0; j < n; ++j) orow[j] = acc[j];
+  }
+}
+
+}  // namespace
+
+void GemmRawInto(const float* a, const float* b, float* out, int64_t m,
+                 int64_t k, int64_t n) {
+  Gemm(a, b, out, m, k, n);
+}
+
+PackedGemmB PackGemmWeight(const Tensor& b) {
+  ODF_CHECK_EQ(b.rank(), 2);
+  PackedGemmB packed;
+  packed.k = b.dim(0);
+  packed.n = b.dim(1);
+  if (packed.n <= kSmallNMax) {
+    // Small-N path: row-major copy, columns zero-padded to a vector-friendly
+    // power of two.
+    packed.pw = packed.n <= 8 ? 8 : kSmallNMax;
+    packed.panels.assign(static_cast<size_t>(packed.k * packed.pw), 0.0f);
+    for (int64_t kk = 0; kk < packed.k; ++kk) {
+      for (int64_t j = 0; j < packed.n; ++j) {
+        packed.panels[static_cast<size_t>(kk * packed.pw + j)] =
+            b.data()[kk * packed.n + j];
+      }
+    }
+    return packed;
+  }
+  packed.panels.resize(
+      static_cast<size_t>(NumJTiles(packed.n) * packed.k * kNR));
+  for (int64_t jt = 0; jt < NumJTiles(packed.n); ++jt) {
+    PackBTile(b.data(), packed.k, packed.n, jt, packed.panels.data());
+  }
+  return packed;
+}
+
+bool PrepackedGemmViable(int64_t rows, int64_t k, int64_t n) {
+  (void)k;
+  (void)n;
+  return rows >= kMR;
+}
+
+void MatMulPrepackedInto(const Tensor& a, const PackedGemmB& b, Tensor* out) {
+  ODF_CHECK_EQ(a.numel() % b.k, 0);
+  const int64_t rows = a.numel() / b.k;
+  ODF_CHECK(PrepackedGemmViable(rows, b.k, b.n));
+  ODF_CHECK_EQ(out->numel(), rows * b.n);
+  float* po = out->data();
+  if (b.pw == 8) {
+    GemmSmallPadded<8>(a.data(), b.panels.data(), po, rows, b.k, b.n);
+    return;
+  }
+  if (b.pw == kSmallNMax) {
+    GemmSmallPadded<kSmallNMax>(a.data(), b.panels.data(), po, rows, b.k,
+                                b.n);
+    return;
+  }
+  std::fill(po, po + rows * b.n, 0.0f);
+  GemmRows(a.data(), b.panels.data(), po, b.k, b.n, 0, rows, ApackScratch());
+}
+
+namespace {
+
 // Iterates over a broadcast binary op. `out[i] = fn(a[ai], b[bi])` where the
-// flat indices ai/bi are computed with broadcast-aware strides.
+// flat indices ai/bi are computed with broadcast-aware strides. `out` must
+// already hold the broadcast result shape; the allocating BroadcastBinary
+// wrapper below shares this exact loop body, so both paths are bit-identical.
 template <typename Fn>
-Tensor BroadcastBinary(const Tensor& a, const Tensor& b, Fn fn) {
+void BroadcastBinaryInto(const Tensor& a, const Tensor& b, Tensor* out,
+                         Fn fn) {
   if (a.shape() == b.shape()) {
-    Tensor out(a.shape());
+    ODF_CHECK(out->shape() == a.shape());
     const float* pa = a.data();
     const float* pb = b.data();
-    float* po = out.data();
+    float* po = out->data();
     ParallelElems(a.numel(), [&](int64_t begin, int64_t end) {
       for (int64_t i = begin; i < end; ++i) po[i] = fn(pa[i], pb[i]);
     });
-    return out;
+    return;
   }
   const Shape out_shape = BroadcastShape(a.shape(), b.shape());
-  Tensor out(out_shape);
+  ODF_CHECK(out->shape() == out_shape);
   const int64_t rank = out_shape.rank();
 
   // Broadcast strides: stride 0 on broadcast dimensions.
@@ -259,8 +394,8 @@ Tensor BroadcastBinary(const Tensor& a, const Tensor& b, Fn fn) {
 
   const float* pa = a.data();
   const float* pb = b.data();
-  float* po = out.data();
-  ParallelElems(out.numel(), [&](int64_t begin, int64_t end) {
+  float* po = out->data();
+  ParallelElems(out->numel(), [&](int64_t begin, int64_t end) {
     // Seed the odometer (and the broadcast source offsets) from the chunk's
     // first flat index, then walk incrementally.
     std::vector<int64_t> index(static_cast<size_t>(rank), 0);
@@ -289,17 +424,29 @@ Tensor BroadcastBinary(const Tensor& a, const Tensor& b, Fn fn) {
       }
     }
   });
+}
+
+template <typename Fn>
+Tensor BroadcastBinary(const Tensor& a, const Tensor& b, Fn fn) {
+  Tensor out(BroadcastShape(a.shape(), b.shape()));
+  BroadcastBinaryInto(a, b, &out, fn);
   return out;
+}
+
+template <typename Fn>
+void UnaryInto(const Tensor& a, Tensor* out, Fn fn) {
+  ODF_CHECK(out->shape() == a.shape());
+  const float* pa = a.data();
+  float* po = out->data();
+  ParallelElems(a.numel(), [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) po[i] = fn(pa[i]);
+  });
 }
 
 template <typename Fn>
 Tensor Unary(const Tensor& a, Fn fn) {
   Tensor out(a.shape());
-  const float* pa = a.data();
-  float* po = out.data();
-  ParallelElems(a.numel(), [&](int64_t begin, int64_t end) {
-    for (int64_t i = begin; i < end; ++i) po[i] = fn(pa[i]);
-  });
+  UnaryInto(a, &out, fn);
   return out;
 }
 
@@ -400,7 +547,29 @@ Tensor Map(const Tensor& a, const std::function<float(float)>& fn) {
   return Unary(a, fn);
 }
 
-Tensor MatMul(const Tensor& a, const Tensor& b) {
+void AddInto(const Tensor& a, const Tensor& b, Tensor* out) {
+  BroadcastBinaryInto(a, b, out, [](float x, float y) { return x + y; });
+}
+void MulInto(const Tensor& a, const Tensor& b, Tensor* out) {
+  BroadcastBinaryInto(a, b, out, [](float x, float y) { return x * y; });
+}
+void AddScalarInto(const Tensor& a, float s, Tensor* out) {
+  UnaryInto(a, out, [s](float x) { return x + s; });
+}
+void MulScalarInto(const Tensor& a, float s, Tensor* out) {
+  UnaryInto(a, out, [s](float x) { return x * s; });
+}
+void SigmoidInto(const Tensor& a, Tensor* out) {
+  UnaryInto(a, out, [](float x) { return FastSigmoid(x); });
+}
+void TanhInto(const Tensor& a, Tensor* out) {
+  UnaryInto(a, out, [](float x) { return FastTanh(x); });
+}
+void ReluInto(const Tensor& a, Tensor* out) {
+  UnaryInto(a, out, [](float x) { return x > 0 ? x : 0.0f; });
+}
+
+void MatMulInto(const Tensor& a, const Tensor& b, Tensor* out) {
   ODF_TRACE_SCOPE("kernel/", "gemm", "kernel");
   static Histogram& gemm_hist =
       MetricsRegistry::Global().GetHistogram("gemm.seconds");
@@ -416,13 +585,25 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const int64_t n = b.dim(1);
   ODF_CHECK_EQ(k, b.dim(0)) << "matmul " << a.shape().ToString() << " x "
                             << b.shape().ToString();
-  Tensor out(Shape({m, n}));
-  Gemm(a.data(), b.data(), out.data(), m, k, n);
+  ODF_CHECK(out->shape() == Shape({m, n}));
+  // Gemm accumulates into its output, matching a fresh zero-filled Tensor.
+  std::fill(out->data(), out->data() + m * n, 0.0f);
+  Gemm(a.data(), b.data(), out->data(), m, k, n);
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  ODF_CHECK_EQ(a.rank(), 2);
+  ODF_CHECK_EQ(b.rank(), 2);
+  Tensor out(Shape({a.dim(0), b.dim(1)}));
+  MatMulInto(a, b, &out);
   return out;
 }
 
-Tensor BatchMatMul(const Tensor& a, const Tensor& b) {
-  if (a.rank() == 2 && b.rank() == 2) return MatMul(a, b);
+void BatchMatMulInto(const Tensor& a, const Tensor& b, Tensor* out) {
+  if (a.rank() == 2 && b.rank() == 2) {
+    MatMulInto(a, b, out);
+    return;
+  }
   ODF_TRACE_SCOPE("kernel/", "batch_gemm", "kernel");
   static Histogram& bgemm_hist =
       MetricsRegistry::Global().GetHistogram("batch_gemm.seconds");
@@ -443,19 +624,22 @@ Tensor BatchMatMul(const Tensor& a, const Tensor& b) {
   const int64_t n = b.dim(-1);
   ODF_CHECK_EQ(k, b.dim(-2)) << "bmm " << a.shape().ToString() << " x "
                              << b.shape().ToString();
-  Tensor out(Shape({batch, m, n}));
+  ODF_CHECK(out->shape() == Shape({batch, m, n}));
   const int64_t a_step = a.rank() == 3 ? m * k : 0;
   const int64_t b_step = b.rank() == 3 ? k * n : 0;
   const float* pa = a.data();
   const float* pb = b.data();
-  float* po = out.data();
+  float* po = out->data();
+  // The per-batch Gemm calls accumulate; start from the zero a fresh Tensor
+  // would hold.
+  std::fill(po, po + batch * m * n, 0.0f);
 
   const int64_t per_batch_flops = m * k * n;
   if (batch * per_batch_flops <= kGemmNaiveFlops) {
     for (int64_t bi = 0; bi < batch; ++bi) {
       GemmNaive(pa + bi * a_step, pb + bi * b_step, po + bi * m * n, m, k, n);
     }
-    return out;
+    return;
   }
   if (UseNaiveGemm(m, k, n)) {
     // Many small matrices: parallelize over whole batch elements.
@@ -467,7 +651,7 @@ Tensor BatchMatMul(const Tensor& a, const Tensor& b) {
                   n);
       }
     });
-    return out;
+    return;
   }
   if (b_step == 0) {
     // One shared right operand (broadcast): pack it once and parallelize
@@ -494,7 +678,7 @@ Tensor BatchMatMul(const Tensor& a, const Tensor& b) {
                  std::min(m, i0 + kMC), apack.data());
       }
     });
-    return out;
+    return;
   }
   // Large per-batch matrices, distinct B per batch: parallelize over the
   // batch; each task runs the full blocked pipeline (its nested ParallelFor
@@ -504,6 +688,13 @@ Tensor BatchMatMul(const Tensor& a, const Tensor& b) {
       Gemm(pa + bi * a_step, pb + bi * b_step, po + bi * m * n, m, k, n);
     }
   });
+}
+
+Tensor BatchMatMul(const Tensor& a, const Tensor& b) {
+  if (a.rank() == 2 && b.rank() == 2) return MatMul(a, b);
+  const int64_t batch = a.rank() == 3 ? a.dim(0) : b.dim(0);
+  Tensor out(Shape({batch, a.dim(-2), b.dim(-1)}));
+  BatchMatMulInto(a, b, &out);
   return out;
 }
 
@@ -545,11 +736,12 @@ Tensor TransposeLast2(const Tensor& a) {
   return Permute(a, perm);
 }
 
-Tensor Permute(const Tensor& a, const std::vector<int64_t>& perm) {
+void PermuteInto(const Tensor& a, const std::vector<int64_t>& perm,
+                 Tensor* out) {
   ODF_CHECK_EQ(static_cast<int64_t>(perm.size()), a.rank());
   std::vector<int64_t> new_dims(perm.size());
   for (size_t i = 0; i < perm.size(); ++i) new_dims[i] = a.dim(perm[i]);
-  Tensor out{Shape(new_dims)};
+  ODF_CHECK(out->shape() == Shape(new_dims));
   const auto in_strides = a.shape().Strides();
   std::vector<int64_t> src_strides(perm.size());
   for (size_t i = 0; i < perm.size(); ++i) {
@@ -557,7 +749,7 @@ Tensor Permute(const Tensor& a, const std::vector<int64_t>& perm) {
   }
   const int64_t rank = a.rank();
   const float* pa = a.data();
-  float* po = out.data();
+  float* po = out->data();
 
   // Fast path: only the last two axes swap -> a batch of cache-blocked 2-D
   // transposes over contiguous slices.
@@ -594,7 +786,7 @@ Tensor Permute(const Tensor& a, const std::vector<int64_t>& perm) {
         }
       }
     });
-    return out;
+    return;
   }
 
   ParallelElems(a.numel(), [&](int64_t begin, int64_t end) {
@@ -620,28 +812,37 @@ Tensor Permute(const Tensor& a, const std::vector<int64_t>& perm) {
       }
     }
   });
+}
+
+Tensor Permute(const Tensor& a, const std::vector<int64_t>& perm) {
+  ODF_CHECK_EQ(static_cast<int64_t>(perm.size()), a.rank());
+  std::vector<int64_t> new_dims(perm.size());
+  for (size_t i = 0; i < perm.size(); ++i) new_dims[i] = a.dim(perm[i]);
+  Tensor out{Shape(new_dims)};
+  PermuteInto(a, perm, &out);
   return out;
 }
 
-Tensor Concat(const std::vector<Tensor>& parts, int64_t axis) {
-  ODF_CHECK(!parts.empty());
-  const Tensor& first = parts.front();
+void ConcatInto(const Tensor* const* parts, size_t count, int64_t axis,
+                Tensor* out) {
+  ODF_CHECK_GT(count, 0u);
+  const Tensor& first = *parts[0];
   if (axis < 0) axis += first.rank();
   ODF_CHECK_GE(axis, 0);
   ODF_CHECK_LT(axis, first.rank());
   int64_t concat_dim = 0;
-  for (const Tensor& p : parts) {
-    ODF_CHECK_EQ(p.rank(), first.rank());
+  for (size_t p = 0; p < count; ++p) {
+    ODF_CHECK_EQ(parts[p]->rank(), first.rank());
     for (int64_t d = 0; d < first.rank(); ++d) {
       if (d != axis) {
-        ODF_CHECK_EQ(p.dim(d), first.dim(d));
+        ODF_CHECK_EQ(parts[p]->dim(d), first.dim(d));
       }
     }
-    concat_dim += p.dim(axis);
+    concat_dim += parts[p]->dim(axis);
   }
   std::vector<int64_t> dims = first.shape().dims();
   dims[static_cast<size_t>(axis)] = concat_dim;
-  Tensor out{Shape(dims)};
+  ODF_CHECK(out->shape() == Shape(dims));
 
   // outer = product of dims before axis; inner = product after axis.
   int64_t outer = 1;
@@ -651,19 +852,38 @@ Tensor Concat(const std::vector<Tensor>& parts, int64_t axis) {
 
   int64_t dest_offset = 0;
   const int64_t out_row = concat_dim * inner;
-  for (const Tensor& p : parts) {
-    const int64_t p_row = p.dim(axis) * inner;
+  for (size_t p = 0; p < count; ++p) {
+    const int64_t p_row = parts[p]->dim(axis) * inner;
     for (int64_t o = 0; o < outer; ++o) {
-      const float* src = p.data() + o * p_row;
-      float* dst = out.data() + o * out_row + dest_offset;
+      const float* src = parts[p]->data() + o * p_row;
+      float* dst = out->data() + o * out_row + dest_offset;
       std::copy(src, src + p_row, dst);
     }
     dest_offset += p_row;
   }
+}
+
+Tensor Concat(const std::vector<Tensor>& parts, int64_t axis) {
+  ODF_CHECK(!parts.empty());
+  const Tensor& first = parts.front();
+  const int64_t resolved = axis < 0 ? axis + first.rank() : axis;
+  ODF_CHECK_GE(resolved, 0);
+  ODF_CHECK_LT(resolved, first.rank());
+  int64_t concat_dim = 0;
+  std::vector<const Tensor*> ptrs(parts.size());
+  for (size_t p = 0; p < parts.size(); ++p) {
+    ptrs[p] = &parts[p];
+    concat_dim += parts[p].dim(resolved);
+  }
+  std::vector<int64_t> dims = first.shape().dims();
+  dims[static_cast<size_t>(resolved)] = concat_dim;
+  Tensor out{Shape(dims)};
+  ConcatInto(ptrs.data(), ptrs.size(), resolved, &out);
   return out;
 }
 
-Tensor Slice(const Tensor& a, int64_t axis, int64_t start, int64_t len) {
+void SliceInto(const Tensor& a, int64_t axis, int64_t start, int64_t len,
+               Tensor* out) {
   if (axis < 0) axis += a.rank();
   ODF_CHECK_GE(axis, 0);
   ODF_CHECK_LT(axis, a.rank());
@@ -672,7 +892,7 @@ Tensor Slice(const Tensor& a, int64_t axis, int64_t start, int64_t len) {
   ODF_CHECK_LE(start + len, a.dim(axis));
   std::vector<int64_t> dims = a.shape().dims();
   dims[static_cast<size_t>(axis)] = len;
-  Tensor out{Shape(dims)};
+  ODF_CHECK(out->shape() == Shape(dims));
   int64_t outer = 1;
   for (int64_t d = 0; d < axis; ++d) outer *= a.dim(d);
   int64_t inner = 1;
@@ -681,9 +901,19 @@ Tensor Slice(const Tensor& a, int64_t axis, int64_t start, int64_t len) {
   const int64_t dst_row = len * inner;
   for (int64_t o = 0; o < outer; ++o) {
     const float* src = a.data() + o * src_row + start * inner;
-    float* dst = out.data() + o * dst_row;
+    float* dst = out->data() + o * dst_row;
     std::copy(src, src + dst_row, dst);
   }
+}
+
+Tensor Slice(const Tensor& a, int64_t axis, int64_t start, int64_t len) {
+  const int64_t resolved = axis < 0 ? axis + a.rank() : axis;
+  ODF_CHECK_GE(resolved, 0);
+  ODF_CHECK_LT(resolved, a.rank());
+  std::vector<int64_t> dims = a.shape().dims();
+  dims[static_cast<size_t>(resolved)] = len;
+  Tensor out{Shape(dims)};
+  SliceInto(a, resolved, start, len, &out);
   return out;
 }
 
@@ -700,7 +930,7 @@ Tensor MeanAll(const Tensor& a) {
   return Tensor::Scalar(SumAll(a).Item() / static_cast<float>(a.numel()));
 }
 
-Tensor Sum(const Tensor& a, int64_t axis, bool keepdim) {
+void SumInto(const Tensor& a, int64_t axis, bool keepdim, Tensor* out) {
   if (axis < 0) axis += a.rank();
   ODF_CHECK_GE(axis, 0);
   ODF_CHECK_LT(axis, a.rank());
@@ -717,9 +947,11 @@ Tensor Sum(const Tensor& a, int64_t axis, bool keepdim) {
     dims.erase(dims.begin() + axis);
     if (dims.empty()) dims.push_back(1);
   }
-  Tensor out{Shape(dims)};
+  ODF_CHECK(out->shape() == Shape(dims));
   const float* pa = a.data();
-  float* po = out.data();
+  float* po = out->data();
+  // The loops below accumulate; start from a fresh Tensor's zeros.
+  std::fill(po, po + out->numel(), 0.0f);
   if (outer > 1) {
     // Each outer slice owns a disjoint output range.
     const int64_t grain =
@@ -744,6 +976,21 @@ Tensor Sum(const Tensor& a, int64_t axis, bool keepdim) {
                   }
                 });
   }
+}
+
+Tensor Sum(const Tensor& a, int64_t axis, bool keepdim) {
+  const int64_t resolved = axis < 0 ? axis + a.rank() : axis;
+  ODF_CHECK_GE(resolved, 0);
+  ODF_CHECK_LT(resolved, a.rank());
+  std::vector<int64_t> dims = a.shape().dims();
+  if (keepdim) {
+    dims[static_cast<size_t>(resolved)] = 1;
+  } else {
+    dims.erase(dims.begin() + resolved);
+    if (dims.empty()) dims.push_back(1);
+  }
+  Tensor out{Shape(dims)};
+  SumInto(a, resolved, keepdim, &out);
   return out;
 }
 
@@ -767,14 +1014,14 @@ float MinValue(const Tensor& a) {
   return best;
 }
 
-Tensor SoftmaxLastDim(const Tensor& a) {
+void SoftmaxLastDimInto(const Tensor& a, Tensor* out) {
   ODF_CHECK_GE(a.rank(), 1);
   const int64_t inner = a.dim(-1);
   ODF_CHECK_GT(inner, 0);
   const int64_t outer = a.numel() / inner;
-  Tensor out(a.shape());
+  ODF_CHECK(out->shape() == a.shape());
   const float* pa = a.data();
-  float* po = out.data();
+  float* po = out->data();
   const int64_t grain =
       std::max<int64_t>(1, kElemGrain / std::max<int64_t>(1, inner));
   ParallelFor(outer, grain, [&](int64_t o0, int64_t o1) {
@@ -792,6 +1039,11 @@ Tensor SoftmaxLastDim(const Tensor& a) {
       for (int64_t i = 0; i < inner; ++i) dst[i] *= inv;
     }
   });
+}
+
+Tensor SoftmaxLastDim(const Tensor& a) {
+  Tensor out(a.shape());
+  SoftmaxLastDimInto(a, &out);
   return out;
 }
 
@@ -810,6 +1062,180 @@ bool AllClose(const Tensor& a, const Tensor& b, float atol) {
     if (std::fabs(a[i] - b[i]) > atol) return false;
   }
   return true;
+}
+
+void FusedRecoverInto(const Tensor& r, const Tensor& c, float temperature,
+                      Tensor* out) {
+  ODF_TRACE_SCOPE("kernel/", "fused_recover", "kernel");
+  static Histogram& hist =
+      MetricsRegistry::Global().GetHistogram("fused_recover.seconds");
+  ScopedTimer timer(hist);
+  if (MetricsEnabled()) {
+    static Counter& calls =
+        MetricsRegistry::Global().GetCounter("fused_recover.calls");
+    calls.Add(1);
+  }
+  ODF_CHECK_EQ(r.rank(), 4);
+  ODF_CHECK_EQ(c.rank(), 4);
+  const int64_t b = r.dim(0);
+  const int64_t n = r.dim(1);
+  const int64_t beta = r.dim(2);
+  const int64_t k = r.dim(3);
+  ODF_CHECK_EQ(c.dim(0), b);
+  ODF_CHECK_EQ(c.dim(1), beta);
+  const int64_t m = c.dim(2);
+  ODF_CHECK_EQ(c.dim(3), k);
+  ODF_CHECK(out->shape() == Shape({b, n, m, k}));
+  ODF_CHECK_GT(k, 0);
+  const float* pr = r.data();
+  const float* pc = c.data();
+  float* po = out->data();
+  const int64_t cells = b * n * m;
+  const int64_t grain =
+      std::max<int64_t>(1, kElemGrain / std::max<int64_t>(1, beta * k));
+  ParallelFor(cells, grain, [&](int64_t c0, int64_t c1) {
+    for (int64_t cell = c0; cell < c1; ++cell) {
+      const int64_t bi = cell / (n * m);
+      const int64_t o = (cell / m) % n;
+      const int64_t d = cell % m;
+      float* dst = po + cell * k;
+      const float* rrow = pr + (bi * n + o) * beta * k;
+      const float* crow = pc + (bi * beta * m + d) * k;
+      // scores_k = temperature * sum_beta r[b,o,beta,k] * c[b,beta,d,k];
+      // ascending beta keeps the rounding order fixed.
+      for (int64_t kk = 0; kk < k; ++kk) dst[kk] = 0.0f;
+      for (int64_t bb = 0; bb < beta; ++bb) {
+        const float* rv = rrow + bb * k;
+        const float* cv = crow + bb * m * k;
+        for (int64_t kk = 0; kk < k; ++kk) dst[kk] += rv[kk] * cv[kk];
+      }
+      for (int64_t kk = 0; kk < k; ++kk) dst[kk] *= temperature;
+      // Softmax over k, structured exactly like SoftmaxLastDim.
+      float max_v = dst[0];
+      for (int64_t kk = 1; kk < k; ++kk) max_v = std::max(max_v, dst[kk]);
+      float total = 0;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        dst[kk] = FastExp(dst[kk] - max_v);
+        total += dst[kk];
+      }
+      const float inv = 1.0f / total;
+      for (int64_t kk = 0; kk < k; ++kk) dst[kk] *= inv;
+    }
+  });
+}
+
+Tensor FusedRecover(const Tensor& r, const Tensor& c, float temperature) {
+  ODF_CHECK_EQ(r.rank(), 4);
+  ODF_CHECK_EQ(c.rank(), 4);
+  Tensor out(Shape({r.dim(0), r.dim(1), c.dim(2), r.dim(3)}));
+  FusedRecoverInto(r, c, temperature, &out);
+  return out;
+}
+
+float FusedRecoverGrad(const Tensor& r, const Tensor& c, float temperature,
+                       const Tensor& y, const Tensor& g, Tensor* dr,
+                       Tensor* dc) {
+  ODF_TRACE_SCOPE("kernel/", "fused_recover_grad", "kernel");
+  const int64_t b = r.dim(0);
+  const int64_t n = r.dim(1);
+  const int64_t beta = r.dim(2);
+  const int64_t k = r.dim(3);
+  const int64_t m = c.dim(2);
+  ODF_CHECK(y.shape() == Shape({b, n, m, k}));
+  ODF_CHECK(g.shape() == y.shape());
+  ODF_CHECK(dr->shape() == r.shape());
+  ODF_CHECK(dc->shape() == c.shape());
+  const float* pr = r.data();
+  const float* pc = c.data();
+  const float* py = y.data();
+  const float* pg = g.data();
+
+  // ds = y * (g - sum_k g*y): the softmax adjoint per (b,o,d) cell, i.e. the
+  // gradient with respect to the pre-softmax scores.
+  Tensor s(y.shape());
+  float* ps = s.data();
+  const int64_t cells = b * n * m;
+  ParallelFor(cells, std::max<int64_t>(1, kElemGrain / std::max<int64_t>(1, k)),
+              [&](int64_t c0, int64_t c1) {
+                for (int64_t cell = c0; cell < c1; ++cell) {
+                  const float* yrow = py + cell * k;
+                  const float* grow = pg + cell * k;
+                  float* srow = ps + cell * k;
+                  float dot = 0;
+                  for (int64_t kk = 0; kk < k; ++kk) dot += grow[kk] * yrow[kk];
+                  for (int64_t kk = 0; kk < k; ++kk) {
+                    srow[kk] = yrow[kk] * (grow[kk] - dot);
+                  }
+                }
+              });
+
+  // dr[b,o,beta,k] = temperature * sum_d s[b,o,d,k] * c[b,beta,d,k]; rows
+  // (b,o) own disjoint output blocks.
+  float* pdr = dr->data();
+  ParallelFor(b * n,
+              std::max<int64_t>(1, kElemGrain /
+                                       std::max<int64_t>(1, beta * m * k)),
+              [&](int64_t t0, int64_t t1) {
+                for (int64_t t = t0; t < t1; ++t) {
+                  const int64_t bi = t / n;
+                  const float* srow = ps + t * m * k;
+                  float* drow = pdr + t * beta * k;
+                  for (int64_t bb = 0; bb < beta; ++bb) {
+                    const float* cbase = pc + (bi * beta + bb) * m * k;
+                    for (int64_t kk = 0; kk < k; ++kk) {
+                      float acc = 0;
+                      for (int64_t d = 0; d < m; ++d) {
+                        acc += srow[d * k + kk] * cbase[d * k + kk];
+                      }
+                      drow[bb * k + kk] = temperature * acc;
+                    }
+                  }
+                }
+              });
+
+  // dc[b,beta,d,k] = temperature * sum_o s[b,o,d,k] * r[b,o,beta,k];
+  // (b,d) pairs own disjoint columns of dc.
+  float* pdc = dc->data();
+  ParallelFor(b * m,
+              std::max<int64_t>(1, kElemGrain /
+                                       std::max<int64_t>(1, beta * n * k)),
+              [&](int64_t t0, int64_t t1) {
+                for (int64_t t = t0; t < t1; ++t) {
+                  const int64_t bi = t / m;
+                  const int64_t d = t % m;
+                  for (int64_t bb = 0; bb < beta; ++bb) {
+                    float* drow = pdc + ((bi * beta + bb) * m + d) * k;
+                    for (int64_t kk = 0; kk < k; ++kk) {
+                      float acc = 0;
+                      for (int64_t o = 0; o < n; ++o) {
+                        acc += ps[((bi * n + o) * m + d) * k + kk] *
+                               pr[((bi * n + o) * beta + bb) * k + kk];
+                      }
+                      drow[kk] = temperature * acc;
+                    }
+                  }
+                }
+              });
+
+  // dtau = sum over cells of (pre-temperature scores) . ds; serial double
+  // accumulation keeps the reduction order fixed (same rationale as SumAll).
+  double dtau = 0;
+  for (int64_t cell = 0; cell < cells; ++cell) {
+    const int64_t bi = cell / (n * m);
+    const int64_t o = (cell / m) % n;
+    const int64_t d = cell % m;
+    const float* rrow = pr + (bi * n + o) * beta * k;
+    const float* crow = pc + (bi * beta * m + d) * k;
+    const float* srow = ps + cell * k;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      float q = 0;
+      for (int64_t bb = 0; bb < beta; ++bb) {
+        q += rrow[bb * k + kk] * crow[bb * m * k + kk];
+      }
+      dtau += static_cast<double>(q) * srow[kk];
+    }
+  }
+  return static_cast<float>(dtau);
 }
 
 }  // namespace odf

@@ -6,6 +6,20 @@
 
 #include "tensor/tensor.h"
 
+// Fused multiply-add pinned to the build's scalar contraction policy. On
+// targets with hardware FMA, `-ffp-contract` fuses scalar `a*b + c` into one
+// rounding — but GCC's vectorizer does not always carry that fusion into
+// hand-tiled loops, silently splitting them into mul+add and breaking bit-
+// equality against the scalar kernels. This macro forces the fused form
+// where scalar code fuses and the split form where it cannot, so "identical
+// per-element accumulation order" implies bit-identical results across
+// every kernel in a build.
+#if defined(__FMA__) || defined(__ARM_FEATURE_FMA)
+#define ODF_FMADD(a, b, c) __builtin_fmaf((a), (b), (c))
+#else
+#define ODF_FMADD(a, b, c) ((a) * (b) + (c))
+#endif
+
 namespace odf {
 
 // Pure tensor kernels. These operate on values only; the autograd layer
@@ -105,6 +119,99 @@ float SquaredNorm(const Tensor& a);
 
 /// True when shapes match and elements differ by at most `atol`.
 bool AllClose(const Tensor& a, const Tensor& b, float atol = 1e-5f);
+
+// -- Preallocated-output variants ----------------------------------------
+//
+// Each `FooInto` writes Foo's result into `*out`, which must already hold
+// the exact result shape; the kernel allocates no output storage (internal
+// scratch such as GEMM packing buffers may still allocate). The allocating
+// entry points above delegate to these, so the loop bodies — and therefore
+// the floating-point results — are identical on both paths. Unary, scalar
+// and same-shape binary kernels may alias `out` with an input (reads are
+// element-aligned with the write); layout and matrix kernels must not.
+
+void AddInto(const Tensor& a, const Tensor& b, Tensor* out);
+void MulInto(const Tensor& a, const Tensor& b, Tensor* out);
+void AddScalarInto(const Tensor& a, float s, Tensor* out);
+void MulScalarInto(const Tensor& a, float s, Tensor* out);
+void SigmoidInto(const Tensor& a, Tensor* out);
+void TanhInto(const Tensor& a, Tensor* out);
+void ReluInto(const Tensor& a, Tensor* out);
+void MatMulInto(const Tensor& a, const Tensor& b, Tensor* out);
+void BatchMatMulInto(const Tensor& a, const Tensor& b, Tensor* out);
+void PermuteInto(const Tensor& a, const std::vector<int64_t>& perm,
+                 Tensor* out);
+/// Concatenates `count` tensors (given as a pointer array so callers on the
+/// serving hot path need no temporary vector) along `axis`.
+void ConcatInto(const Tensor* const* parts, size_t count, int64_t axis,
+                Tensor* out);
+void SliceInto(const Tensor& a, int64_t axis, int64_t start, int64_t len,
+               Tensor* out);
+void SumInto(const Tensor& a, int64_t axis, bool keepdim, Tensor* out);
+void SoftmaxLastDimInto(const Tensor& a, Tensor* out);
+
+// -- Prepacked GEMM (compiled-inference weights) --------------------------
+//
+// The blocked GEMM packs its right operand into j-tile-major panels on
+// every call. For a static operand (a trained weight matrix on the serving
+// path) that pack can be hoisted: `PackGemmWeight` performs it once and
+// `MatMulPrepackedInto` runs the identical blocked row pipeline against the
+// stored panels — same micro-kernels, same k-ascending accumulation per
+// output element, so results are bit-identical to MatMul on the same
+// operands. Runs serially (the serving worker owns exactly one core-equiv
+// of work; pool dispatch on these problem sizes costs more than it saves).
+
+struct PackedGemmB {
+  // Narrow weights (n <= 16): row-major, columns zero-padded to `pw`.
+  // Wider weights (pw == 0): j-tile-major, kNR-strided (see tensor_ops.cc).
+  std::vector<float> panels;
+  int64_t k = 0;
+  int64_t n = 0;
+  int64_t pw = 0;  // padded row width of the small-n layout; 0 = blocked
+};
+
+/// Packs a rank-2 weight `b` ([k, n]) for MatMulPrepackedInto.
+PackedGemmB PackGemmWeight(const Tensor& b);
+
+/// True when the blocked prepacked path handles an [rows, k] x [k, n]
+/// product (enough rows for the register tile). Callers fall back to
+/// MatMulInto / BatchMatMulInto otherwise.
+bool PrepackedGemmViable(int64_t rows, int64_t k, int64_t n);
+
+/// out = a · b for `a` of any rank >= 1 flattened to [numel/k, k]; `out`
+/// must hold numel/k x n elements. Requires PrepackedGemmViable.
+void MatMulPrepackedInto(const Tensor& a, const PackedGemmB& b, Tensor* out);
+
+// -- Raw GEMM entry (layout kernels) --------------------------------------
+
+/// out (m x n, already zero-filled) += a (m x k) · b (k x n), raw row-major
+/// pointers. Runs the exact naive/blocked dispatch behind MatMul, so per-
+/// element accumulation (k-ascending, one fused chain) is bit-identical to
+/// the Tensor entry points. For layout-restructuring kernels (e.g. the wide
+/// Chebyshev basis) that operate on scratch buffers rather than Tensors.
+void GemmRawInto(const float* a, const float* b, float* out, int64_t m,
+                 int64_t k, int64_t n);
+
+// -- Fused OD recovery ----------------------------------------------------
+//
+// The paper's recover stage in one batched kernel:
+//   out[b,o,d,:] = softmax_k( temperature * sum_beta r[b,o,beta,:] *
+//                                                    c[b,beta,d,:] )
+// with r: [B,N,beta,K], c: [B,beta,N',K] -> out: [B,N,N',K]. Replaces the
+// permute + batched-GEMM + scalar-mul + softmax pipeline with a single pass
+// per (b,o,d) cell; accumulation over beta is ascending and cells partition
+// disjointly across threads, so results are thread-count invariant.
+
+Tensor FusedRecover(const Tensor& r, const Tensor& c, float temperature);
+void FusedRecoverInto(const Tensor& r, const Tensor& c, float temperature,
+                      Tensor* out);
+
+/// Backward of FusedRecover. `y` is the forward output, `g` the upstream
+/// gradient; writes dL/dr and dL/dc (same shapes as r and c, fully
+/// overwritten) and returns dL/dtemperature.
+float FusedRecoverGrad(const Tensor& r, const Tensor& c, float temperature,
+                       const Tensor& y, const Tensor& g, Tensor* dr,
+                       Tensor* dc);
 
 }  // namespace odf
 

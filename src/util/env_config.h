@@ -25,6 +25,20 @@ namespace odf {
 //                    timeline (util/trace.h), flushed at exit to
 //                    ODF_TRACE_PATH (default odf_trace.json). Off by
 //                    default with the same one-load disabled cost.
+//
+// Serving front-end knobs (serve/service.h, docs/serving.md), read once by
+// ServeConfig::FromEnv() at service construction:
+//   ODF_SERVE_MAX_BATCH=<n>        largest number of distinct samples the
+//                    worker coalesces into one compiled-plan execution
+//                    (default 8; must not exceed the batch capacity the
+//                    plan was compiled for).
+//   ODF_SERVE_BATCH_WINDOW_US=<n>  how long the worker waits for more
+//                    queries after the first one before cutting a batch —
+//                    the added-latency budget (default 200; 0 disables
+//                    coalescing and serves each query alone).
+//   ODF_SERVE_CACHE=0              disable the current-interval forecast
+//                    cache (on by default); every ForecastCurrent then
+//                    runs the plan.
 
 /// Returns the value of environment variable `name`, or `fallback` if unset.
 std::string GetEnvString(const char* name, const std::string& fallback);
