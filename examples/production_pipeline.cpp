@@ -15,10 +15,19 @@
 // ForwardPlan and a ForecastService answers a scripted query stream —
 // concurrent bursts that coalesce into shared batches plus repeated
 // current-interval reads served from the interval cache.
+//
+// `--scenarios` runs the stress-scenario robustness harness instead
+// (docs/scenarios.md): clean-trained models are scored against the
+// standard incident suite (road closure, demand surge, storm, sensor
+// dropout, composed) and the scenario×model table is written as
+// BENCH_scenarios.json. `--scenarios --smoke` is the fast CI variant
+// (tiny grid, 2 scenarios). Knobs: ODF_SCENARIO_MODELS (comma-separated
+// table names), ODF_SCENARIO_EPOCHS, ODF_SCENARIO_SEED.
 
 #include <cstdio>
 #include <cstring>
 #include <future>
+#include <string>
 #include <vector>
 
 #include "baselines/naive_histogram.h"
@@ -26,24 +35,114 @@
 #include "core/experiment.h"
 #include "core/outlier_guard.h"
 #include "core/trainer.h"
+#include "eval/scenario_eval.h"
 #include "nn/serialize.h"
 #include "od/trip_io.h"
 #include "serve/service.h"
+#include "sim/scenario.h"
 #include "sim/trip_generator.h"
+#include "util/env_config.h"
+
+namespace {
+
+std::vector<std::string> SplitCsv(const std::string& csv) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= csv.size()) {
+    const size_t comma = csv.find(',', start);
+    const size_t end = comma == std::string::npos ? csv.size() : comma;
+    if (end > start) out.push_back(csv.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+// The scenario×model robustness harness (ROADMAP item 4). Everything is
+// seeded, so the emitted BENCH_scenarios.json is bit-identical across
+// runs and thread counts; `smoke` shrinks it to a CI-sized sweep.
+int RunScenarioHarness(bool smoke) {
+  const uint64_t seed =
+      static_cast<uint64_t>(odf::GetEnvInt("ODF_SCENARIO_SEED", 7));
+  odf::DatasetSpec spec =
+      smoke ? odf::MakeNycLike(3, 3, /*num_days=*/4, /*interval_minutes=*/60,
+                               1000 + seed)
+            : odf::MakeNycLike(4, 4, /*num_days=*/8, /*interval_minutes=*/30,
+                               1000 + seed);
+
+  odf::eval::ScenarioEvalConfig config;
+  config.train.seed = seed;
+  config.train.epochs = static_cast<int>(
+      odf::GetEnvInt("ODF_SCENARIO_EPOCHS", smoke ? 2 : 8));
+  config.train.batch_size = 16;
+  config.train.patience = 4;
+  config.models = SplitCsv(odf::GetEnvString(
+      "ODF_SCENARIO_MODELS", smoke ? "AF,NH" : "AF,BF,NH,VAR"));
+
+  // Stress only the test period: clean-trained models meet the incidents
+  // at evaluation time, never during training.
+  const odf::TimePartition time_partition(spec.config.interval_minutes,
+                                          spec.config.num_days);
+  const int64_t num_intervals = time_partition.NumIntervals();
+  odf::ScenarioWindow window;
+  window.start_interval = num_intervals -
+                          num_intervals / 5;  // last ~20% = test split
+  window.end_interval = num_intervals;
+  std::vector<odf::Scenario> suite =
+      odf::StandardScenarioSuite(spec.graph, window, seed);
+  if (smoke) {
+    // Keep the cheapest trip-level and observation-level injector each.
+    std::vector<odf::Scenario> small;
+    for (odf::Scenario& scenario : suite) {
+      if (scenario.name() == "clean" ||
+          scenario.name() == "weather_slowdown") {
+        small.push_back(std::move(scenario));
+      }
+    }
+    suite = std::move(small);
+  }
+
+  const odf::eval::ScenarioEvalResult result =
+      odf::eval::RunScenarioSweep(spec, suite, config);
+  odf::eval::PrintScenarioReport(result, stdout);
+  const std::string path = "BENCH_scenarios.json";
+  if (!odf::eval::WriteScenarioBenchJson(result, path)) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s (%zu scenarios x %zu models)\n", path.c_str(),
+              result.scenarios.size(), result.models.size());
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   bool resume = false;
   bool serve = false;
+  bool scenarios = false;
+  bool smoke = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--resume") == 0) {
       resume = true;
     } else if (std::strcmp(argv[i], "--serve") == 0) {
       serve = true;
+    } else if (std::strcmp(argv[i], "--scenarios") == 0) {
+      scenarios = true;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--resume] [--serve]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--resume] [--serve] [--scenarios [--smoke]]\n",
+                   argv[0]);
       return 2;
     }
   }
+  if (smoke && !scenarios) {
+    std::fprintf(stderr, "--smoke only applies to --scenarios\n");
+    return 2;
+  }
+  if (scenarios) return RunScenarioHarness(smoke);
 
   const std::string trips_path = "/tmp/odf_trips.csv";
   const std::string regions_path = "/tmp/odf_regions.csv";

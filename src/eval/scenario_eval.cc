@@ -1,0 +1,269 @@
+#include "eval/scenario_eval.h"
+
+#include <cmath>
+#include <cstdarg>
+#include <fstream>
+
+#include "baselines/fc_gru.h"
+#include "baselines/gp.h"
+#include "baselines/multitask.h"
+#include "baselines/naive_histogram.h"
+#include "baselines/var.h"
+#include "core/advanced_framework.h"
+#include "core/basic_framework.h"
+#include "core/experiment.h"
+#include "util/metrics.h"
+
+namespace odf::eval {
+
+namespace {
+
+/// Scores `model` over the test windows of a scenario: inputs are batched
+/// from the degraded `observed` dataset, targets are the scenario's ground
+/// `truth` tensors. All horizon steps accumulate into one value (the
+/// harness reports robustness per scenario, not per step).
+MetricAccumulator ScoreOnScenario(Forecaster& model,
+                                  const ForecastDataset& observed,
+                                  const OdTensorSeries& truth,
+                                  const std::vector<int64_t>& samples,
+                                  int64_t batch_size) {
+  ODF_CHECK_GT(batch_size, 0);
+  MetricAccumulator accumulator;
+  for (size_t start = 0; start < samples.size();
+       start += static_cast<size_t>(batch_size)) {
+    const size_t end =
+        std::min(samples.size(), start + static_cast<size_t>(batch_size));
+    const std::vector<int64_t> indices(
+        samples.begin() + static_cast<int64_t>(start),
+        samples.begin() + static_cast<int64_t>(end));
+    Batch batch = observed.MakeBatch(indices);
+    const std::vector<Tensor> predictions = model.Predict(batch);
+    ODF_CHECK_EQ(static_cast<int64_t>(predictions.size()),
+                 observed.horizon());
+    for (size_t b = 0; b < indices.size(); ++b) {
+      const int64_t anchor = batch.anchor_intervals[b];
+      for (int64_t j = 0; j < observed.horizon(); ++j) {
+        const Tensor prediction = SamplePrediction(
+            predictions[static_cast<size_t>(j)], static_cast<int64_t>(b));
+        AccumulateForecast(prediction, truth.at(anchor + 1 + j), accumulator);
+      }
+    }
+  }
+  return accumulator;
+}
+
+void AppendF(std::string* out, const char* format, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void AppendF(std::string* out, const char* format, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof buf, format, args);
+  va_end(args);
+  *out += buf;
+}
+
+}  // namespace
+
+std::unique_ptr<Forecaster> MakeForecasterByName(
+    const std::string& name, const RegionGraph& graph, int64_t num_buckets,
+    int64_t horizon, const TimePartition& time_partition, uint64_t seed) {
+  const int64_t n = graph.size();
+  if (name == "NH") return std::make_unique<NaiveHistogramForecaster>();
+  if (name == "GP") return std::make_unique<GaussianProcessForecaster>();
+  if (name == "VAR") return std::make_unique<VarForecaster>();
+  if (name == "FC" || name == "RNN") {
+    FcGruConfig config;
+    config.seed = seed + 17;
+    return std::make_unique<FcGruForecaster>(n, n, num_buckets, horizon,
+                                             config);
+  }
+  if (name == "MR") {
+    MultiTaskConfig config;
+    config.seed = seed + 23;
+    return std::make_unique<MultiTaskForecaster>(n, n, num_buckets, horizon,
+                                                 time_partition, config);
+  }
+  if (name == "BF") {
+    BasicFrameworkConfig config;
+    config.seed = seed + 11;
+    return std::make_unique<BasicFramework>(n, n, num_buckets, horizon,
+                                            config);
+  }
+  if (name == "AF") {
+    AdvancedFrameworkConfig config;
+    config.seed = seed + 13;
+    return std::make_unique<AdvancedFramework>(graph, graph, num_buckets,
+                                               horizon, config);
+  }
+  ODF_CHECK(false) << "unknown model " << name
+                   << " (expected AF, BF, NH, GP, VAR, FC/RNN or MR)";
+  return nullptr;
+}
+
+ScenarioEvalResult RunScenarioSweep(const DatasetSpec& spec,
+                                    const std::vector<Scenario>& scenarios,
+                                    const ScenarioEvalConfig& config) {
+  ODF_CHECK(!config.models.empty());
+  ODF_CHECK(!scenarios.empty());
+  const SpeedHistogramSpec histogram = SpeedHistogramSpec::Paper();
+
+  // The clean world every model is trained on. Scenarios only perturb the
+  // evaluation side: robustness is "clean-trained model meets an incident",
+  // exactly the deployment situation the ROADMAP's north star describes.
+  TripGenerator generator(spec.graph, spec.config);
+  const TimePartition time_partition = generator.time_partition();
+  OdTensorSeries clean_series = BuildOdTensorSeries(
+      generator.Generate(), time_partition, spec.graph.size(),
+      spec.graph.size(), histogram);
+  ForecastDataset clean_dataset(&clean_series, config.history,
+                                config.horizon);
+  const ForecastDataset::Split split = clean_dataset.ChronologicalSplit(
+      config.train_fraction, config.validation_fraction);
+  ODF_CHECK(!split.test.empty()) << "no test windows to stress";
+
+  ScenarioEvalResult result;
+  result.dataset_name = spec.name;
+  result.regions = spec.graph.size();
+  result.seed = spec.config.seed;
+  result.history = config.history;
+  result.horizon = config.horizon;
+  result.test_windows = static_cast<int64_t>(split.test.size());
+  result.models = config.models;
+  for (const Scenario& scenario : scenarios) {
+    result.scenarios.push_back(scenario.name());
+  }
+
+  std::vector<std::unique_ptr<Forecaster>> models;
+  models.reserve(config.models.size());
+  for (const std::string& name : config.models) {
+    std::unique_ptr<Forecaster> model = MakeForecasterByName(
+        name, spec.graph, histogram.num_buckets(), config.horizon,
+        time_partition, config.train.seed);
+    model->Fit(clean_dataset, split, config.train);
+    models.push_back(std::move(model));
+  }
+
+  for (const Scenario& scenario : scenarios) {
+    ScenarioWorld world = BuildScenarioWorld(spec, scenario, histogram);
+    ODF_CHECK_EQ(world.truth.NumIntervals(), clean_series.NumIntervals());
+    ForecastDataset observed_dataset(&world.observed, config.history,
+                                     config.horizon);
+    for (size_t m = 0; m < models.size(); ++m) {
+      MetricAccumulator accumulator;
+      {
+        ScopedTimer timer(
+            MetricsRegistry::Global().GetHistogram("scenario.eval_seconds"));
+        accumulator =
+            ScoreOnScenario(*models[m], observed_dataset, world.truth,
+                            split.test, config.eval_batch_size);
+      }
+      if (MetricsEnabled()) {
+        MetricsRegistry::Global().GetCounter("scenario.evaluations").Add();
+      }
+      ScenarioScore score;
+      score.scenario = scenario.name();
+      score.model = config.models[m];
+      score.pairs = accumulator.count();
+      for (int k = 0; k < kNumMetrics; ++k) {
+        score.values[k] = accumulator.Mean(static_cast<Metric>(k));
+        ODF_CHECK(std::isfinite(score.values[k]))
+            << scenario.name() << "/" << config.models[m] << " "
+            << MetricName(static_cast<Metric>(k)) << " is not finite";
+      }
+      result.scores.push_back(std::move(score));
+    }
+  }
+  return result;
+}
+
+std::string ScenarioBenchJson(const ScenarioEvalResult& result) {
+  std::string out;
+  out.reserve(4096);
+  out += "{\n";
+  AppendF(&out, "  \"bench\": \"scenario_robustness\",\n");
+  AppendF(&out, "  \"dataset\": \"%s\",\n", result.dataset_name.c_str());
+  AppendF(&out, "  \"regions\": %lld,\n",
+          static_cast<long long>(result.regions));
+  AppendF(&out, "  \"seed\": %llu,\n",
+          static_cast<unsigned long long>(result.seed));
+  AppendF(&out, "  \"history\": %lld,\n",
+          static_cast<long long>(result.history));
+  AppendF(&out, "  \"horizon\": %lld,\n",
+          static_cast<long long>(result.horizon));
+  AppendF(&out, "  \"test_windows\": %lld,\n",
+          static_cast<long long>(result.test_windows));
+  out += "  \"models\": [";
+  for (size_t m = 0; m < result.models.size(); ++m) {
+    AppendF(&out, "%s\"%s\"", m == 0 ? "" : ", ", result.models[m].c_str());
+  }
+  out += "],\n";
+  out += "  \"scenarios\": [\n";
+  for (size_t s = 0; s < result.scenarios.size(); ++s) {
+    AppendF(&out, "    {\"name\": \"%s\", \"scores\": [\n",
+            result.scenarios[s].c_str());
+    for (size_t m = 0; m < result.models.size(); ++m) {
+      const ScenarioScore& score =
+          result.scores[s * result.models.size() + m];
+      ODF_CHECK(score.scenario == result.scenarios[s]);
+      for (int k = 0; k < kNumMetrics; ++k) {
+        ODF_CHECK(std::isfinite(score.values[k]));
+      }
+      AppendF(&out,
+              "      {\"model\": \"%s\", \"kl\": %.9f, \"js\": %.9f, "
+              "\"emd\": %.9f, \"pairs\": %lld}%s\n",
+              score.model.c_str(), score.values[0], score.values[1],
+              score.values[2], static_cast<long long>(score.pairs),
+              m + 1 == result.models.size() ? "" : ",");
+    }
+    AppendF(&out, "    ]}%s\n",
+            s + 1 == result.scenarios.size() ? "" : ",");
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+bool WriteScenarioBenchJson(const ScenarioEvalResult& result,
+                            const std::string& path) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return false;
+  const std::string json = ScenarioBenchJson(result);
+  file.write(json.data(), static_cast<std::streamsize>(json.size()));
+  return static_cast<bool>(file.flush());
+}
+
+Table ScenarioReportTable(const ScenarioEvalResult& result, Metric metric) {
+  std::vector<std::string> headers{"scenario"};
+  headers.insert(headers.end(), result.models.begin(), result.models.end());
+  Table table(std::move(headers));
+  for (size_t s = 0; s < result.scenarios.size(); ++s) {
+    std::vector<std::string> row{result.scenarios[s]};
+    for (size_t m = 0; m < result.models.size(); ++m) {
+      const ScenarioScore& score =
+          result.scores[s * result.models.size() + m];
+      row.push_back(Table::Num(score.values[static_cast<int>(metric)]));
+    }
+    table.AddRow(std::move(row));
+  }
+  return table;
+}
+
+void PrintScenarioReport(const ScenarioEvalResult& result, std::FILE* out) {
+  std::fprintf(out,
+               "scenario robustness — %s, %lld regions, seed %llu, "
+               "%lld test windows (history %lld, horizon %lld)\n",
+               result.dataset_name.c_str(),
+               static_cast<long long>(result.regions),
+               static_cast<unsigned long long>(result.seed),
+               static_cast<long long>(result.test_windows),
+               static_cast<long long>(result.history),
+               static_cast<long long>(result.horizon));
+  for (int k = 0; k < kNumMetrics; ++k) {
+    std::fprintf(out, "\n%s (mean per observed pair; lower is better)\n",
+                 MetricName(static_cast<Metric>(k)));
+    ScenarioReportTable(result, static_cast<Metric>(k)).Print(out);
+  }
+}
+
+}  // namespace odf::eval

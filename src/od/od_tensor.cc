@@ -30,6 +30,14 @@ void OdTensor::SetHistogram(int64_t o, int64_t d,
   counts_.At2(o, d) = count;
 }
 
+void OdTensor::ClearObservation(int64_t o, int64_t d) {
+  for (int64_t k = 0; k < num_buckets(); ++k) {
+    values_.At3(o, d, k) = 0.0f;
+  }
+  mask_.At2(o, d) = 0.0f;
+  counts_.At2(o, d) = 0.0f;
+}
+
 Tensor OdTensor::ExpandedMask() const {
   const int64_t n = num_origins();
   const int64_t m = num_destinations();

@@ -37,6 +37,11 @@ class OdTensor {
   void SetHistogram(int64_t o, int64_t d, const std::vector<float>& histogram,
                     float count = 1.0f);
 
+  /// Removes one OD pair's observation (mask, histogram and count are
+  /// zeroed), as if its sensors never reported. Used by the sensor-dropout
+  /// scenario injector (sim/scenario.h); a no-op on unobserved pairs.
+  void ClearObservation(int64_t o, int64_t d);
+
   /// Mask broadcast over the bucket dimension: [N, N', K].
   Tensor ExpandedMask() const;
 

@@ -1,0 +1,467 @@
+#include "sim/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/trip_generator.h"
+#include "util/metrics.h"
+
+namespace odf {
+
+namespace {
+
+/// Counter increment that is free when metrics are off (util/metrics.h).
+void AddCount(const char* name, uint64_t n) {
+  if (n == 0 || !MetricsEnabled()) return;
+  MetricsRegistry::Global().GetCounter(name).Add(n);
+}
+
+bool SortedContains(const std::vector<int64_t>& sorted, int64_t value) {
+  return std::binary_search(sorted.begin(), sorted.end(), value);
+}
+
+/// Rewrites a trip's duration so it travels at `speed_ms` (clamped to the
+/// simulator's physical speed range).
+void SetSpeed(Trip& trip, double speed_ms) {
+  trip.duration_s = trip.distance_m / std::clamp(speed_ms, 0.5, 30.0);
+}
+
+}  // namespace
+
+void ScenarioInjector::ApplyToTrips(std::vector<Trip>&, const RegionGraph&,
+                                    const TimePartition&, Rng&) const {}
+
+void ScenarioInjector::ApplyToObservations(OdTensorSeries&,
+                                           const TimePartition&) const {}
+
+bool ScenarioInjector::EdgeClosed(int64_t, int64_t, int64_t) const {
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Road closures.
+// ---------------------------------------------------------------------------
+
+RoadClosureInjector::RoadClosureInjector(RoadClosureConfig config)
+    : config_(std::move(config)) {
+  ODF_CHECK_GT(config_.detour_factor, 1.0);
+  ODF_CHECK_GT(config_.detour_speed_factor, 0.0);
+  sorted_regions_ = config_.closed_regions;
+  std::sort(sorted_regions_.begin(), sorted_regions_.end());
+  sorted_edges_.reserve(config_.closed_edges.size());
+  for (const auto& [i, j] : config_.closed_edges) {
+    ODF_CHECK(i != j) << "a closed corridor needs two distinct regions";
+    sorted_edges_.emplace_back(std::min(i, j), std::max(i, j));
+  }
+  std::sort(sorted_edges_.begin(), sorted_edges_.end());
+}
+
+bool RoadClosureInjector::RegionClosed(int64_t r) const {
+  return SortedContains(sorted_regions_, r);
+}
+
+bool RoadClosureInjector::CorridorClosed(int64_t o, int64_t d) const {
+  const std::pair<int64_t, int64_t> key{std::min(o, d), std::max(o, d)};
+  return std::binary_search(sorted_edges_.begin(), sorted_edges_.end(), key);
+}
+
+void RoadClosureInjector::ApplyToTrips(std::vector<Trip>& trips,
+                                       const RegionGraph& /*graph*/,
+                                       const TimePartition& time_partition,
+                                       Rng& /*rng*/) const {
+  // Draws no randomness: the transform depends only on (o, d, interval).
+  uint64_t dropped = 0;
+  uint64_t rerouted = 0;
+  size_t out = 0;
+  for (size_t i = 0; i < trips.size(); ++i) {
+    Trip trip = trips[i];
+    const int64_t t = time_partition.IntervalOf(trip.departure_s);
+    if (config_.window.Contains(t)) {
+      if (RegionClosed(trip.origin) || RegionClosed(trip.destination)) {
+        // A trip cannot start or end inside a blockade.
+        ++dropped;
+        continue;
+      }
+      if (CorridorClosed(trip.origin, trip.destination)) {
+        if (!config_.reroute) {
+          ++dropped;
+          continue;
+        }
+        // Detour around the removed direct edge: longer route on slower
+        // side streets, same endpoints.
+        const double speed = trip.SpeedMs() * config_.detour_speed_factor;
+        trip.distance_m *= config_.detour_factor;
+        SetSpeed(trip, speed);
+        ++rerouted;
+      }
+    }
+    trips[out++] = trip;
+  }
+  trips.resize(out);
+  AddCount("scenario.trips_dropped", dropped);
+  AddCount("scenario.trips_rerouted", rerouted);
+}
+
+bool RoadClosureInjector::EdgeClosed(int64_t i, int64_t j, int64_t t) const {
+  if (!config_.window.Contains(t)) return false;
+  return RegionClosed(i) || RegionClosed(j) || CorridorClosed(i, j);
+}
+
+// ---------------------------------------------------------------------------
+// Demand surges.
+// ---------------------------------------------------------------------------
+
+DemandSurgeInjector::DemandSurgeInjector(DemandSurgeConfig config)
+    : config_(std::move(config)) {
+  ODF_CHECK(config_.window.IsFinite())
+      << "a demand surge needs a finite window (its intensity is shaped "
+         "over the window length)";
+  ODF_CHECK_GT(config_.window.Length(), 0);
+  ODF_CHECK_GE(config_.peak_redirect_fraction, 0.0);
+  ODF_CHECK_LE(config_.peak_redirect_fraction, 1.0);
+  ODF_CHECK_GE(config_.inbound_fraction, 0.0);
+  ODF_CHECK_LE(config_.inbound_fraction, 1.0);
+}
+
+double DemandSurgeInjector::Intensity(int64_t t) const {
+  if (!config_.window.Contains(t)) return 0.0;
+  // Raised cosine over the window: demand builds toward the event and
+  // unwinds after it (concert/airport shaped).
+  const double phase =
+      (static_cast<double>(t - config_.window.start_interval) + 0.5) /
+      static_cast<double>(config_.window.Length());
+  return 0.5 * (1.0 - std::cos(2.0 * M_PI * phase));
+}
+
+void DemandSurgeInjector::ApplyToTrips(std::vector<Trip>& trips,
+                                       const RegionGraph& graph,
+                                       const TimePartition& time_partition,
+                                       Rng& rng) const {
+  ODF_CHECK_GE(config_.target_region, 0);
+  ODF_CHECK_LT(config_.target_region, graph.size());
+  // Mass conservation: every trip stays a trip — only its endpoint moves.
+  uint64_t redirected = 0;
+  for (Trip& trip : trips) {
+    const int64_t t = time_partition.IntervalOf(trip.departure_s);
+    const double p = config_.peak_redirect_fraction * Intensity(t);
+    if (p <= 0.0 || !rng.Bernoulli(p)) continue;
+    const bool inbound = rng.Bernoulli(config_.inbound_fraction);
+    int32_t& endpoint = inbound ? trip.destination : trip.origin;
+    const int32_t target = static_cast<int32_t>(config_.target_region);
+    if (endpoint == target) continue;  // already converging on the venue
+    endpoint = target;
+    // Re-draw the route for the new OD pair; the trip keeps its average
+    // speed (the driver, not the road, stayed the same).
+    const double speed = trip.SpeedMs();
+    const double straight_km = graph.DistanceKm(trip.origin, trip.destination);
+    const double route_km = std::max(straight_km, config_.min_route_km) *
+                            rng.LogNormal(0.0, config_.route_jitter);
+    trip.distance_m = route_km * 1000.0;
+    SetSpeed(trip, speed);
+    ++redirected;
+  }
+  AddCount("scenario.trips_redirected", redirected);
+}
+
+// ---------------------------------------------------------------------------
+// Weather slowdowns.
+// ---------------------------------------------------------------------------
+
+WeatherSlowdownInjector::WeatherSlowdownInjector(WeatherSlowdownConfig config)
+    : config_(std::move(config)) {
+  ODF_CHECK_GT(config_.speed_factor, 0.0);
+  ODF_CHECK_LE(config_.speed_factor, 1.0);
+  ODF_CHECK_GE(config_.ramp_intervals, 0.0);
+  ODF_CHECK_GT(config_.demand_factor, 0.0);
+  ODF_CHECK_LE(config_.demand_factor, 1.0);
+}
+
+double WeatherSlowdownInjector::Intensity(int64_t t) const {
+  if (!config_.window.Contains(t)) return 0.0;
+  if (config_.ramp_intervals <= 0.0) return 1.0;
+  const double lead =
+      static_cast<double>(t - config_.window.start_interval) + 1.0;
+  double intensity = std::min(1.0, lead / config_.ramp_intervals);
+  if (config_.window.IsFinite()) {
+    const double trail =
+        static_cast<double>(config_.window.end_interval - t);
+    intensity = std::min(intensity, trail / config_.ramp_intervals);
+  }
+  return std::max(intensity, 0.0);
+}
+
+void WeatherSlowdownInjector::ApplyToTrips(std::vector<Trip>& trips,
+                                           const RegionGraph& /*graph*/,
+                                           const TimePartition& time_partition,
+                                           Rng& rng) const {
+  const bool lossy = config_.demand_factor < 1.0;
+  uint64_t slowed = 0;
+  uint64_t dropped = 0;
+  size_t out = 0;
+  for (size_t i = 0; i < trips.size(); ++i) {
+    Trip trip = trips[i];
+    const int64_t t = time_partition.IntervalOf(trip.departure_s);
+    const double intensity = Intensity(t);
+    if (intensity > 0.0) {
+      if (lossy && rng.Bernoulli(1.0 - config_.demand_factor)) {
+        ++dropped;
+        continue;
+      }
+      const double mult = 1.0 - (1.0 - config_.speed_factor) * intensity;
+      SetSpeed(trip, trip.SpeedMs() * mult);
+      ++slowed;
+    }
+    trips[out++] = trip;
+  }
+  trips.resize(out);
+  AddCount("scenario.trips_slowed", slowed);
+  AddCount("scenario.trips_dropped", dropped);
+}
+
+// ---------------------------------------------------------------------------
+// Sensor dropout.
+// ---------------------------------------------------------------------------
+
+SensorDropoutInjector::SensorDropoutInjector(SensorDropoutConfig config)
+    : config_(std::move(config)) {
+  ODF_CHECK(config_.origin_side || config_.destination_side)
+      << "a dropout that masks neither side is a no-op";
+  sorted_regions_ = config_.regions;
+  std::sort(sorted_regions_.begin(), sorted_regions_.end());
+}
+
+bool SensorDropoutInjector::Masked(int64_t o, int64_t d, int64_t t) const {
+  if (!config_.window.Contains(t)) return false;
+  return (config_.origin_side && SortedContains(sorted_regions_, o)) ||
+         (config_.destination_side && SortedContains(sorted_regions_, d));
+}
+
+void SensorDropoutInjector::ApplyToObservations(
+    OdTensorSeries& observed, const TimePartition& /*time_partition*/) const {
+  uint64_t masked = 0;
+  const int64_t first = std::max<int64_t>(config_.window.start_interval, 0);
+  const int64_t last =
+      std::min<int64_t>(observed.NumIntervals(), config_.window.end_interval);
+  for (int64_t t = first; t < last; ++t) {
+    OdTensor& tensor = observed.tensors[static_cast<size_t>(t)];
+    for (int64_t o = 0; o < tensor.num_origins(); ++o) {
+      for (int64_t d = 0; d < tensor.num_destinations(); ++d) {
+        if (!Masked(o, d, t) || !tensor.IsObserved(o, d)) continue;
+        tensor.ClearObservation(o, d);
+        ++masked;
+      }
+    }
+  }
+  AddCount("scenario.cells_masked", masked);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario.
+// ---------------------------------------------------------------------------
+
+Scenario::Scenario(std::string name, uint64_t seed)
+    : name_(std::move(name)), seed_(seed) {}
+
+Scenario& Scenario::Add(std::unique_ptr<ScenarioInjector> injector) {
+  ODF_CHECK(injector != nullptr);
+  injectors_.push_back(std::move(injector));
+  return *this;
+}
+
+Scenario& Scenario::AddRoadClosure(RoadClosureConfig config) {
+  return Add(std::make_unique<RoadClosureInjector>(std::move(config)));
+}
+
+Scenario& Scenario::AddDemandSurge(DemandSurgeConfig config) {
+  return Add(std::make_unique<DemandSurgeInjector>(std::move(config)));
+}
+
+Scenario& Scenario::AddWeatherSlowdown(WeatherSlowdownConfig config) {
+  return Add(std::make_unique<WeatherSlowdownInjector>(std::move(config)));
+}
+
+Scenario& Scenario::AddSensorDropout(SensorDropoutConfig config) {
+  return Add(std::make_unique<SensorDropoutInjector>(std::move(config)));
+}
+
+std::vector<Trip> Scenario::ApplyToTrips(
+    std::vector<Trip> trips, const RegionGraph& graph,
+    const TimePartition& time_partition) const {
+  for (size_t i = 0; i < injectors_.size(); ++i) {
+    // Per-injector streams: adding or reordering draws inside one injector
+    // never perturbs the randomness the next one sees.
+    Rng rng(seed_ ^ (0x9E3779B97F4A7C15ull * static_cast<uint64_t>(i + 1)));
+    injectors_[i]->ApplyToTrips(trips, graph, time_partition, rng);
+  }
+  return trips;
+}
+
+OdTensorSeries Scenario::MaskObservations(
+    const OdTensorSeries& truth, const TimePartition& time_partition) const {
+  OdTensorSeries observed = truth;
+  for (const auto& injector : injectors_) {
+    injector->ApplyToObservations(observed, time_partition);
+  }
+  return observed;
+}
+
+bool Scenario::EdgeClosed(int64_t i, int64_t j, int64_t t) const {
+  for (const auto& injector : injectors_) {
+    if (injector->EdgeClosed(i, j, t)) return true;
+  }
+  return false;
+}
+
+Tensor Scenario::ProximityMatrixAt(const RegionGraph& graph,
+                                   const ProximityParams& params,
+                                   int64_t t) const {
+  Tensor w = graph.ProximityMatrix(params);
+  const int64_t n = graph.size();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      if (!EdgeClosed(i, j, t)) continue;
+      w.At2(i, j) = 0.0f;
+      w.At2(j, i) = 0.0f;
+    }
+  }
+  return w;
+}
+
+ScenarioWorld BuildScenarioWorld(const DatasetSpec& spec,
+                                 const Scenario& scenario,
+                                 const SpeedHistogramSpec& histogram_spec) {
+  TripGenerator generator(spec.graph, spec.config);
+  const TimePartition time_partition = generator.time_partition();
+  ScenarioWorld world;
+  world.trips =
+      scenario.ApplyToTrips(generator.Generate(), spec.graph, time_partition);
+  world.truth =
+      BuildOdTensorSeries(world.trips, time_partition, spec.graph.size(),
+                          spec.graph.size(), histogram_spec);
+  world.observed = scenario.MaskObservations(world.truth, time_partition);
+  return world;
+}
+
+// ---------------------------------------------------------------------------
+// Standard suite.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Region nearest the city's centroid ("downtown").
+int64_t CentralRegion(const RegionGraph& graph) {
+  double cx = 0.0;
+  double cy = 0.0;
+  for (const Region& r : graph.regions()) {
+    cx += r.centroid_x_km;
+    cy += r.centroid_y_km;
+  }
+  cx /= static_cast<double>(graph.size());
+  cy /= static_cast<double>(graph.size());
+  int64_t best = 0;
+  double best_d = std::numeric_limits<double>::max();
+  for (int64_t i = 0; i < graph.size(); ++i) {
+    const Region& r = graph.region(i);
+    const double dx = r.centroid_x_km - cx;
+    const double dy = r.centroid_y_km - cy;
+    const double d = dx * dx + dy * dy;
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+/// Region ids sorted by distance from `from` (ties by id, deterministic).
+std::vector<int64_t> ByDistanceFrom(const RegionGraph& graph, int64_t from) {
+  std::vector<int64_t> order(static_cast<size_t>(graph.size()));
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int64_t>(i);
+  std::stable_sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    return graph.DistanceKm(from, a) < graph.DistanceKm(from, b);
+  });
+  return order;
+}
+
+}  // namespace
+
+std::vector<Scenario> StandardScenarioSuite(const RegionGraph& graph,
+                                            const ScenarioWindow& window,
+                                            uint64_t seed) {
+  ODF_CHECK_GE(graph.size(), 6) << "the standard suite needs >= 6 regions";
+  ODF_CHECK(window.IsFinite());
+  const int64_t center = CentralRegion(graph);
+  const std::vector<int64_t> near = ByDistanceFrom(graph, center);
+  // near[0] is the centre itself; near[1..4] its closest neighbours,
+  // near.back() the remotest region ("airport").
+  const int64_t n0 = near[1];
+  const int64_t n1 = near[2];
+  const int64_t n2 = near[3];
+  const int64_t n3 = near[4];
+  const int64_t far = near.back();
+
+  std::vector<Scenario> suite;
+
+  suite.emplace_back("clean", seed);
+
+  {
+    Scenario s("road_closure", seed);
+    RoadClosureConfig closure;
+    closure.closed_regions = {center};
+    closure.closed_edges = {{n0, n1}, {n0, n2}, {n1, n3}};
+    closure.window = window;
+    closure.reroute = true;
+    s.AddRoadClosure(closure);
+    suite.push_back(std::move(s));
+  }
+
+  {
+    Scenario s("demand_surge", seed);
+    DemandSurgeConfig surge;
+    surge.target_region = far;
+    surge.window = window;
+    surge.peak_redirect_fraction = 0.6;
+    s.AddDemandSurge(surge);
+    suite.push_back(std::move(s));
+  }
+
+  {
+    Scenario s("weather_slowdown", seed);
+    WeatherSlowdownConfig weather;
+    weather.window = window;
+    weather.speed_factor = 0.55;
+    weather.ramp_intervals = 2.0;
+    s.AddWeatherSlowdown(weather);
+    suite.push_back(std::move(s));
+  }
+
+  {
+    Scenario s("sensor_dropout", seed);
+    SensorDropoutConfig dropout;
+    dropout.regions = {center, n0};
+    dropout.window = window;
+    s.AddSensorDropout(dropout);
+    suite.push_back(std::move(s));
+  }
+
+  {
+    // Composed: a storm while one region's sensors are down. Weather acts
+    // on trips, dropout on observations, so the composition order is
+    // immaterial here (docs/scenarios.md, commutation contract).
+    Scenario s("storm_dropout", seed);
+    WeatherSlowdownConfig weather;
+    weather.window = window;
+    weather.speed_factor = 0.6;
+    weather.ramp_intervals = 1.0;
+    s.AddWeatherSlowdown(weather);
+    SensorDropoutConfig dropout;
+    dropout.regions = {n1};
+    dropout.window = window;
+    s.AddSensorDropout(dropout);
+    suite.push_back(std::move(s));
+  }
+
+  return suite;
+}
+
+}  // namespace odf

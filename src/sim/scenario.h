@@ -1,0 +1,301 @@
+#ifndef ODF_SIM_SCENARIO_H_
+#define ODF_SIM_SCENARIO_H_
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/region_graph.h"
+#include "od/od_tensor.h"
+#include "od/trip.h"
+#include "sim/trip_generator.h"
+#include "util/rng.h"
+
+namespace odf {
+
+/// Half-open interval window [start_interval, end_interval) during which a
+/// scenario injector is active (ROADMAP item 4 / docs/scenarios.md). The
+/// default window covers the whole dataset.
+struct ScenarioWindow {
+  int64_t start_interval = 0;
+  int64_t end_interval = std::numeric_limits<int64_t>::max();
+
+  bool Contains(int64_t t) const {
+    return t >= start_interval && t < end_interval;
+  }
+  bool IsFinite() const {
+    return end_interval != std::numeric_limits<int64_t>::max();
+  }
+  int64_t Length() const { return end_interval - start_interval; }
+};
+
+/// A composable stress injector applied on top of TripGenerator's output
+/// (docs/scenarios.md). Injectors transform the trip stream, the observed
+/// OD tensor series, and/or the region graph's edge set — never the ground
+/// truth that the harness scores against, except through the trips
+/// themselves.
+///
+/// Determinism contract: every trip transform consumes randomness only from
+/// the `Rng&` it is handed (seeded by the owning Scenario from
+/// (scenario seed, injector index)), visits trips in stream order, and must
+/// keep the stream sorted by departure. Under that contract a scenario
+/// application is byte-identical across repeated runs and thread counts.
+///
+/// Commutation contract: injectors that draw no randomness and act on
+/// disjoint trip attributes commute (e.g. a road closure in drop mode and a
+/// lossless weather slowdown; any trip-level injector and sensor dropout,
+/// which only touches observations). Injectors that draw randomness (demand
+/// surges, weather with demand loss) do NOT commute in general because
+/// reordering changes the draw sequence; compose them in a documented,
+/// fixed order instead.
+class ScenarioInjector {
+ public:
+  virtual ~ScenarioInjector() = default;
+
+  /// Short stable name used in reports and metrics.
+  virtual std::string name() const = 0;
+
+  /// Rewrites the generated trip stream in place (drop / detour / redirect).
+  virtual void ApplyToTrips(std::vector<Trip>& trips,
+                            const RegionGraph& graph,
+                            const TimePartition& time_partition,
+                            Rng& rng) const;
+
+  /// Masks observations of the already-built observed series. Ground truth
+  /// is never passed here: sensors fail, reality does not.
+  virtual void ApplyToObservations(OdTensorSeries& observed,
+                                   const TimePartition& time_partition) const;
+
+  /// True when proximity edge (i, j) is removed at interval `t`
+  /// (time-varying RegionGraph view; consumed by dynamic-graph operators).
+  virtual bool EdgeClosed(int64_t i, int64_t j, int64_t t) const;
+};
+
+// ---------------------------------------------------------------------------
+// Road closures (edge removal -> time-varying graph, rerouted/dropped trips).
+// ---------------------------------------------------------------------------
+
+struct RoadClosureConfig {
+  /// Blockaded regions: every proximity edge incident to these regions is
+  /// removed while the window is active, and trips starting or ending there
+  /// are always dropped (a trip cannot be rerouted to a blockaded endpoint).
+  std::vector<int64_t> closed_regions;
+  /// Closed corridors: direct (i, j) travel is removed; trips between the
+  /// two endpoints are rerouted around the closure (or dropped).
+  std::vector<std::pair<int64_t, int64_t>> closed_edges;
+  ScenarioWindow window;
+  /// Reroute corridor trips around the closure instead of dropping them.
+  bool reroute = true;
+  /// Route-length inflation of a rerouted trip (detour around the closure).
+  double detour_factor = 1.7;
+  /// Detour roads are slower than the closed direct route.
+  double detour_speed_factor = 0.8;
+};
+
+class RoadClosureInjector : public ScenarioInjector {
+ public:
+  explicit RoadClosureInjector(RoadClosureConfig config);
+
+  std::string name() const override { return "road_closure"; }
+  void ApplyToTrips(std::vector<Trip>& trips, const RegionGraph& graph,
+                    const TimePartition& time_partition,
+                    Rng& rng) const override;
+  bool EdgeClosed(int64_t i, int64_t j, int64_t t) const override;
+
+  const RoadClosureConfig& config() const { return config_; }
+
+ private:
+  bool RegionClosed(int64_t r) const;
+  bool CorridorClosed(int64_t o, int64_t d) const;
+
+  RoadClosureConfig config_;
+  std::vector<int64_t> sorted_regions_;
+  /// Normalized (min, max) closed corridor pairs, sorted for binary search.
+  std::vector<std::pair<int64_t, int64_t>> sorted_edges_;
+};
+
+// ---------------------------------------------------------------------------
+// Demand surges (concert/airport shaped transient re-ranking).
+// ---------------------------------------------------------------------------
+
+struct DemandSurgeConfig {
+  /// Region the surge converges on (stadium, airport, ...).
+  int64_t target_region = 0;
+  /// Must be finite: the raised-cosine intensity needs a window length.
+  ScenarioWindow window;
+  /// Fraction of in-window trips redirected at the surge peak. Demand mass
+  /// is conserved exactly: trips are re-targeted, never added or removed.
+  double peak_redirect_fraction = 0.5;
+  /// Of the redirected trips, the share sent *to* the target (inbound,
+  /// pre-event) versus *from* it (outbound, post-event).
+  double inbound_fraction = 0.7;
+  /// Route re-draw parameters for redirected trips (match SimConfig).
+  double route_jitter = 0.15;
+  double min_route_km = 0.6;
+};
+
+class DemandSurgeInjector : public ScenarioInjector {
+ public:
+  explicit DemandSurgeInjector(DemandSurgeConfig config);
+
+  std::string name() const override { return "demand_surge"; }
+  void ApplyToTrips(std::vector<Trip>& trips, const RegionGraph& graph,
+                    const TimePartition& time_partition,
+                    Rng& rng) const override;
+
+  /// Raised-cosine surge intensity in [0, 1] at interval `t` (0 outside the
+  /// window; exposed for tests/calibration).
+  double Intensity(int64_t t) const;
+
+  const DemandSurgeConfig& config() const { return config_; }
+
+ private:
+  DemandSurgeConfig config_;
+};
+
+// ---------------------------------------------------------------------------
+// Weather-style global slowdowns (scaled speed profile over a window).
+// ---------------------------------------------------------------------------
+
+struct WeatherSlowdownConfig {
+  ScenarioWindow window;
+  /// Speed multiplier at full intensity (0.6 = everyone drives 40% slower).
+  double speed_factor = 0.6;
+  /// Linear ramp-in/out length in intervals (storms build and clear).
+  double ramp_intervals = 0.0;
+  /// Fraction of in-window demand retained (1.0 draws no randomness and
+  /// conserves the trip stream's count exactly; < 1 drops trips i.i.d.).
+  double demand_factor = 1.0;
+};
+
+class WeatherSlowdownInjector : public ScenarioInjector {
+ public:
+  explicit WeatherSlowdownInjector(WeatherSlowdownConfig config);
+
+  std::string name() const override { return "weather_slowdown"; }
+  void ApplyToTrips(std::vector<Trip>& trips, const RegionGraph& graph,
+                    const TimePartition& time_partition,
+                    Rng& rng) const override;
+
+  /// Storm intensity in [0, 1] at interval `t` (trapezoid with ramps).
+  double Intensity(int64_t t) const;
+
+  const WeatherSlowdownConfig& config() const { return config_; }
+
+ private:
+  WeatherSlowdownConfig config_;
+};
+
+// ---------------------------------------------------------------------------
+// Sensor dropout (masking whole regions' observations; truth persists).
+// ---------------------------------------------------------------------------
+
+struct SensorDropoutConfig {
+  /// Regions whose sensors go dark during the window.
+  std::vector<int64_t> regions;
+  ScenarioWindow window;
+  /// Which sides of an OD pair a dark region silences.
+  bool origin_side = true;
+  bool destination_side = true;
+};
+
+class SensorDropoutInjector : public ScenarioInjector {
+ public:
+  explicit SensorDropoutInjector(SensorDropoutConfig config);
+
+  std::string name() const override { return "sensor_dropout"; }
+  void ApplyToObservations(OdTensorSeries& observed,
+                           const TimePartition& time_partition) const override;
+
+  /// True when observations of pair (o, d) are masked at interval `t`.
+  bool Masked(int64_t o, int64_t d, int64_t t) const;
+
+  const SensorDropoutConfig& config() const { return config_; }
+
+ private:
+  SensorDropoutConfig config_;
+  std::vector<int64_t> sorted_regions_;
+};
+
+// ---------------------------------------------------------------------------
+// Scenario: a named, ordered composition of injectors.
+// ---------------------------------------------------------------------------
+
+class Scenario {
+ public:
+  explicit Scenario(std::string name, uint64_t seed = 0x5CE7A210u);
+
+  const std::string& name() const { return name_; }
+  uint64_t seed() const { return seed_; }
+
+  /// Appends an injector; applied in insertion order. Returns *this so
+  /// scenarios can be built fluently.
+  Scenario& Add(std::unique_ptr<ScenarioInjector> injector);
+  Scenario& AddRoadClosure(RoadClosureConfig config);
+  Scenario& AddDemandSurge(DemandSurgeConfig config);
+  Scenario& AddWeatherSlowdown(WeatherSlowdownConfig config);
+  Scenario& AddSensorDropout(SensorDropoutConfig config);
+
+  const std::vector<std::unique_ptr<ScenarioInjector>>& injectors() const {
+    return injectors_;
+  }
+
+  /// Applies every injector's trip transform in insertion order. Each
+  /// injector gets a fresh Rng seeded from (scenario seed, injector index),
+  /// so the result is independent of how many draws earlier injectors made
+  /// and byte-identical across runs and thread counts.
+  std::vector<Trip> ApplyToTrips(std::vector<Trip> trips,
+                                 const RegionGraph& graph,
+                                 const TimePartition& time_partition) const;
+
+  /// Returns a copy of `truth` with every injector's observation masking
+  /// applied (sensor dropout). `truth` itself is left untouched.
+  OdTensorSeries MaskObservations(const OdTensorSeries& truth,
+                                  const TimePartition& time_partition) const;
+
+  /// True when any injector removes proximity edge (i, j) at interval `t`.
+  bool EdgeClosed(int64_t i, int64_t j, int64_t t) const;
+
+  /// The proximity matrix of `graph` at interval `t` with every closed
+  /// edge's weight zeroed — the time-varying RegionGraph view dynamic graph
+  /// operators consume (ROADMAP item 3).
+  Tensor ProximityMatrixAt(const RegionGraph& graph,
+                           const ProximityParams& params, int64_t t) const;
+
+ private:
+  std::string name_;
+  uint64_t seed_;
+  std::vector<std::unique_ptr<ScenarioInjector>> injectors_;
+};
+
+/// One materialized stressed dataset: the trip stream with every trip-level
+/// injection applied, the full-information ground-truth series built from
+/// it, and the degraded observed series (ground truth + sensor masking).
+/// Models consume `observed`; the harness scores them against `truth`.
+struct ScenarioWorld {
+  std::vector<Trip> trips;
+  OdTensorSeries truth;
+  OdTensorSeries observed;
+};
+
+ScenarioWorld BuildScenarioWorld(const DatasetSpec& spec,
+                                 const Scenario& scenario,
+                                 const SpeedHistogramSpec& histogram_spec);
+
+/// The canonical stress suite used by the robustness harness and the
+/// committed BENCH_scenarios.json (docs/scenarios.md): clean (reference),
+/// a downtown road closure, a concert-style demand surge at the region
+/// farthest from the centre, a storm slowdown, whole-region sensor dropout,
+/// and a composed storm+dropout scenario. All windows live inside
+/// [window.start_interval, window.end_interval) — pass the test period so
+/// clean-trained models are stressed only at evaluation time.
+std::vector<Scenario> StandardScenarioSuite(const RegionGraph& graph,
+                                            const ScenarioWindow& window,
+                                            uint64_t seed = 0x5CE7A210u);
+
+}  // namespace odf
+
+#endif  // ODF_SIM_SCENARIO_H_

@@ -39,6 +39,18 @@ namespace odf {
 //   ODF_SERVE_CACHE=0              disable the current-interval forecast
 //                    cache (on by default); every ForecastCurrent then
 //                    runs the plan.
+//
+// Stress-scenario harness knobs (docs/scenarios.md), read by
+// `production_pipeline --scenarios [--smoke]`:
+//   ODF_SCENARIO_SEED=<n>    master seed for the sweep — trip generation,
+//                    injector randomness, and model init all derive from
+//                    it, so one value pins the whole BENCH_scenarios.json
+//                    bit-for-bit (default 7; the committed table uses it).
+//   ODF_SCENARIO_EPOCHS=<n>  training epochs for each learned model in
+//                    the sweep (default 8, or 2 with --smoke).
+//   ODF_SCENARIO_MODELS=<csv> comma-separated table columns, e.g.
+//                    "AF,BF,NH,VAR" (the default; --smoke uses "AF,NH").
+//                    Accepted names: AF, BF, MR, FC/RNN, GP, NH, VAR.
 
 /// Returns the value of environment variable `name`, or `fallback` if unset.
 std::string GetEnvString(const char* name, const std::string& fallback);

@@ -31,6 +31,7 @@
 #include "nn/serialize.h"
 #include "serve/forward_plan.h"
 #include "serve/service.h"
+#include "sim/scenario.h"
 #include "sim/trip_generator.h"
 #include "util/thread_pool.h"
 
@@ -400,6 +401,93 @@ TEST(ForecastServiceTest, ConcurrentClientsHammerOneWorker) {
 
   Counter& batches = MetricsRegistry::Global().GetCounter("serve.batches");
   EXPECT_GT(batches.value(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Serving under stress (docs/scenarios.md): the service keeps answering
+// when a sensor-dropout scenario darkens whole regions of its input feed.
+// ---------------------------------------------------------------------
+
+TEST(ForecastServiceTest, ServesFiniteForecastsUnderSensorDropout) {
+  TestWorld world = TestWorld::Make();
+
+  // Darken two regions for the whole series — every query below reads at
+  // least one fully masked observation window.
+  Scenario scenario("serving_dropout", 5);
+  SensorDropoutConfig dropout;
+  dropout.regions = {0, 4};
+  dropout.window = {0, world.series.NumIntervals()};
+  scenario.AddSensorDropout(dropout);
+  const TimePartition time_partition(world.spec.config.interval_minutes,
+                                     world.spec.config.num_days);
+  OdTensorSeries observed =
+      scenario.MaskObservations(world.series, time_partition);
+  ForecastDataset degraded(&observed, world.dataset.history(),
+                           world.dataset.horizon());
+  ASSERT_EQ(degraded.NumSamples(), world.dataset.NumSamples());
+
+  AdvancedFrameworkConfig config;
+  AdvancedFramework model(world.spec.graph, world.spec.graph, 7, 2, config);
+  serve::ServeConfig serve_config;
+  serve_config.batch_window_us = 0;
+  serve::ForecastService service(
+      &degraded, serve::PlanCompiler::Compile(model, degraded.history()),
+      serve_config);
+
+  auto expect_finite_histograms = [](const serve::ForecastResult& result) {
+    ASSERT_NE(result, nullptr);
+    for (const Tensor& step : *result) {
+      const int64_t buckets = step.shape().dim(-1);
+      const int64_t rows = step.numel() / buckets;
+      for (int64_t row = 0; row < rows; ++row) {
+        double sum = 0.0;
+        for (int64_t k = 0; k < buckets; ++k) {
+          const float v = step[row * buckets + k];
+          ASSERT_TRUE(std::isfinite(v));
+          ASSERT_GE(v, 0.0f);
+          sum += v;
+        }
+        ASSERT_NEAR(sum, 1.0, 1e-4) << "row " << row << " denormalized";
+      }
+    }
+  };
+
+  // Direct queries across the series answer without NaNs or aborts.
+  for (int64_t sample : {int64_t{0}, int64_t{7},
+                         degraded.NumSamples() - 1}) {
+    expect_finite_histograms(service.Forecast(sample));
+  }
+
+  // Cache rollover still invalidates mid-scenario.
+  Counter& misses =
+      MetricsRegistry::Global().GetCounter("serve.cache_misses");
+  const uint64_t misses0 = misses.value();
+  service.SetCurrentInterval(5);
+  const serve::ForecastResult before = service.ForecastCurrent();
+  expect_finite_histograms(before);
+  EXPECT_EQ(service.ForecastCurrent().get(), before.get());  // cache hit
+  service.SetCurrentInterval(6);
+  const serve::ForecastResult after = service.ForecastCurrent();
+  expect_finite_histograms(after);
+  EXPECT_NE(after.get(), before.get());
+  EXPECT_EQ(misses.value(), misses0 + 2);
+
+  // The darkened feed really changed what gets served: same sample, same
+  // plan, different bits than the clean-feed service.
+  serve::ForecastService clean(
+      &world.dataset,
+      serve::PlanCompiler::Compile(model, world.dataset.history()),
+      serve_config);
+  const serve::ForecastResult masked_result = service.Forecast(7);
+  const serve::ForecastResult clean_result = clean.Forecast(7);
+  bool diverged = false;
+  for (size_t j = 0; j < masked_result->size(); ++j) {
+    if (!BitIdentical((*masked_result)[j], (*clean_result)[j])) {
+      diverged = true;
+    }
+  }
+  EXPECT_TRUE(diverged)
+      << "sensor dropout did not reach the serving inputs";
 }
 
 }  // namespace

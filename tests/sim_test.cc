@@ -1,10 +1,14 @@
 #include "sim/trip_generator.h"
 
 #include <cmath>
+#include <cstring>
+#include <string>
 
 #include <gtest/gtest.h>
 
 #include "od/od_tensor.h"
+#include "sim/scenario.h"
+#include "util/thread_pool.h"
 
 namespace odf {
 namespace {
@@ -193,6 +197,123 @@ TEST(TripGeneratorTest, NeighbouringRegionsCorrelated) {
   // Adjacent regions 4 (center) and 1/3/5/7 correlate positively.
   EXPECT_GT(correlation(4, 1), 0.2);
   EXPECT_GT(correlation(4, 3), 0.2);
+}
+
+// ---------------------------------------------------------------------
+// Golden-seed determinism (ISSUE 7): the trip stream — raw and under
+// every scenario injector — must be byte-identical across repeated runs
+// with the same seed and across thread counts. Byte-level means byte-level:
+// every field of every trip, not just counts or sums.
+// ---------------------------------------------------------------------
+
+/// Packs every trip field into one byte string (field-wise, so struct
+/// padding can never alias as a difference).
+std::string TripBytes(const std::vector<Trip>& trips) {
+  std::string bytes;
+  bytes.reserve(trips.size() * 32);
+  auto append = [&bytes](const void* p, size_t n) {
+    bytes.append(static_cast<const char*>(p), n);
+  };
+  for (const Trip& trip : trips) {
+    append(&trip.origin, sizeof trip.origin);
+    append(&trip.destination, sizeof trip.destination);
+    append(&trip.departure_s, sizeof trip.departure_s);
+    append(&trip.distance_m, sizeof trip.distance_m);
+    append(&trip.duration_s, sizeof trip.duration_s);
+  }
+  return bytes;
+}
+
+struct PoolGuard {
+  int64_t saved = ThreadPool::Global().threads();
+  ~PoolGuard() { ThreadPool::Global().Resize(static_cast<int>(saved)); }
+};
+
+TEST(GoldenSeedTest, TripGeneratorByteIdenticalAcrossRunsAndThreadCounts) {
+  PoolGuard guard;
+  RegionGraph graph = RegionGraph::Grid(3, 3, 1.0);
+  std::string golden;
+  for (int trial = 0; trial < 4; ++trial) {
+    // Alternate thread counts between trials: the congestion-field MatMul
+    // runs on the pool and must not leak the pool size into the stream.
+    ThreadPool::Global().Resize(trial % 2 == 0 ? 1 : 4);
+    TripGenerator gen(graph, SmallConfig());
+    const std::string bytes = TripBytes(gen.Generate());
+    if (trial == 0) {
+      golden = bytes;
+      ASSERT_FALSE(golden.empty());
+    } else {
+      ASSERT_EQ(bytes.size(), golden.size()) << "trial " << trial;
+      EXPECT_TRUE(bytes == golden)
+          << "trip stream diverged at trial " << trial;
+    }
+  }
+}
+
+TEST(GoldenSeedTest, EveryInjectorByteIdenticalAcrossRunsAndThreadCounts) {
+  PoolGuard guard;
+  RegionGraph graph = RegionGraph::Grid(3, 3, 1.0);
+  SimConfig config = SmallConfig();
+  config.mean_trips_per_interval = 120;
+  TimePartition tp(config.interval_minutes, config.num_days);
+  ScenarioWindow window{tp.NumIntervals() / 2, tp.NumIntervals()};
+  // The standard suite covers every injector type plus a composition.
+  const std::vector<Scenario> suite =
+      StandardScenarioSuite(graph, window, /*seed=*/0xC0FFEE);
+  ASSERT_GE(suite.size(), 5u);
+
+  std::vector<std::string> golden(suite.size());
+  for (int trial = 0; trial < 4; ++trial) {
+    ThreadPool::Global().Resize(trial % 2 == 0 ? 1 : 4);
+    TripGenerator gen(graph, config);
+    const std::vector<Trip> base = gen.Generate();
+    for (size_t s = 0; s < suite.size(); ++s) {
+      const std::string bytes =
+          TripBytes(suite[s].ApplyToTrips(base, graph, tp));
+      if (trial == 0) {
+        golden[s] = bytes;
+        ASSERT_FALSE(golden[s].empty()) << suite[s].name();
+      } else {
+        EXPECT_TRUE(bytes == golden[s])
+            << suite[s].name() << " diverged at trial " << trial;
+      }
+    }
+  }
+}
+
+TEST(GoldenSeedTest, DropoutMaskingDeterministicAcrossThreadCounts) {
+  PoolGuard guard;
+  RegionGraph graph = RegionGraph::Grid(3, 3, 1.0);
+  SimConfig config = SmallConfig();
+  TimePartition tp(config.interval_minutes, config.num_days);
+  Scenario scenario("dropout", 11);
+  SensorDropoutConfig dropout;
+  dropout.regions = {0, 4};
+  dropout.window = {8, 40};
+  scenario.AddSensorDropout(dropout);
+
+  std::string golden;
+  for (int trial = 0; trial < 2; ++trial) {
+    ThreadPool::Global().Resize(trial == 0 ? 1 : 4);
+    TripGenerator gen(graph, config);
+    OdTensorSeries truth = BuildOdTensorSeries(
+        gen.Generate(), tp, 9, 9, SpeedHistogramSpec::Paper());
+    OdTensorSeries observed = scenario.MaskObservations(truth, tp);
+    std::string bytes;
+    for (const OdTensor& tensor : observed.tensors) {
+      bytes.append(reinterpret_cast<const char*>(tensor.values().data()),
+                   static_cast<size_t>(tensor.values().numel()) *
+                       sizeof(float));
+      bytes.append(reinterpret_cast<const char*>(tensor.mask().data()),
+                   static_cast<size_t>(tensor.mask().numel()) *
+                       sizeof(float));
+    }
+    if (trial == 0) {
+      golden = bytes;
+    } else {
+      EXPECT_TRUE(bytes == golden);
+    }
+  }
 }
 
 TEST(DatasetSpecTest, PresetsMatchPaperStructure) {
