@@ -1,10 +1,15 @@
-// Serving-path benchmark (ISSUE: tape-free compiled inference).
+// Serving-path benchmark (ISSUE: tape-free compiled inference; precision-
+// lowered serving).
 //
-// Measures three regimes on a trained, checkpoint-round-tripped AF:
-//   cold     tape-based Predict vs compiled ForwardPlan::Run, single query
-//   batched  end-to-end ForecastService latency/QPS at several concurrency
-//            levels (micro-batching worker)
-//   cached   ForecastCurrent hits on the interval cache
+// Measures four regimes on a trained, checkpoint-round-tripped AF:
+//   cold      tape-based Predict vs compiled ForwardPlan::Run, single query
+//   precision fp32 plan vs the fp64 reference plan: single-query p50/p99/QPS
+//             side by side, plus the max per-cell KL/JS/EMD delta between
+//             the two plans' histograms over a sample sweep, checked against
+//             the serve/service.h gate tolerances
+//   batched   end-to-end ForecastService latency/QPS at several concurrency
+//             levels (micro-batching worker)
+//   cached    ForecastCurrent hits on the interval cache
 //
 // Ratio claims (plan >= 3x tape, cached p50 >= 100x below cold) are
 // computed from exact sorted per-iteration samples — the registry
@@ -13,9 +18,13 @@
 //
 // Writes BENCH_serving.json to the working directory. `--smoke` runs a
 // fast subset and exits non-zero if the cached p50 exceeds a generous
-// ceiling (CI latency smoke).
+// ceiling or any precision delta exceeds its gate tolerance (CI smoke).
+// `--precision` runs only the cold + precision regimes (quick iteration on
+// the precision sweep; no JSON is written).
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -25,6 +34,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "metrics/divergence.h"
 #include "nn/serialize.h"
 #include "serve/forward_plan.h"
 #include "serve/service.h"
@@ -65,7 +75,31 @@ void AppendRegimeJson(std::string* out, const Regime& regime, bool last) {
   *out += buf;
 }
 
-int Run(bool smoke) {
+/// Max per-cell |KL|/|JS|/EMD between the two plans' normalized histograms
+/// over every horizon step of the last Run (outputs assumed [B, N, N', K]).
+struct MaxDeltas {
+  double kl = 0.0;
+  double js = 0.0;
+  double emd = 0.0;
+};
+
+void AccumulateDeltas(const serve::ForwardPlan& ref,
+                      const serve::ForwardPlan& low, MaxDeltas* deltas) {
+  for (int64_t j = 0; j < ref.horizon(); ++j) {
+    const Tensor& a = ref.output(j);
+    const Tensor& b = low.output(j);
+    const int64_t k = a.dim(3);
+    const float* pa = a.data();
+    const float* pb = b.data();
+    for (int64_t c = 0; c < a.numel() / k; ++c, pa += k, pb += k) {
+      deltas->kl = std::max(deltas->kl, std::fabs(KlDivergence(pa, pb, k)));
+      deltas->js = std::max(deltas->js, std::fabs(JsDivergence(pa, pb, k)));
+      deltas->emd = std::max(deltas->emd, EarthMoversDistance(pa, pb, k));
+    }
+  }
+}
+
+int Run(bool smoke, bool precision_only) {
   SetMetricsEnabled(true);
   Scale scale = Scale::FromEnv();
   if (smoke) scale.epochs = std::min(scale.epochs, 2);
@@ -98,6 +132,14 @@ int Run(bool smoke) {
   const int cached_iters = smoke ? 2000 : 20000;
   std::vector<Regime> regimes;
 
+  // Let the core return to steady-state clocks before timing anything: the
+  // training phase above runs the CPU flat out for tens of seconds, and on
+  // frequency-scaled hosts the first timing loops otherwise measure the
+  // thermal tail of training rather than the kernels. fp64 is the more
+  // bandwidth-bound plan, so a throttled clock skews the fp32/fp64 ratio,
+  // not just the absolute numbers.
+  if (!smoke) std::this_thread::sleep_for(std::chrono::seconds(20));
+
   // --- cold single-query: tape vs plan -------------------------------
   Batch single = dataset.MakeBatch({0});
   Regime tape;
@@ -108,23 +150,75 @@ int Run(bool smoke) {
     const uint64_t elapsed = MonotonicNanos() - start;
     if (i >= 3) tape.nanos.push_back(elapsed);  // skip warmup
   }
+  // --- precision sweep: fp32 plan vs fp64 reference plan --------------
+  // Timed in alternating blocks: back-to-back whole loops would sample
+  // different frequency-scaling states (the ratio then measures the clock,
+  // not the plans), while alternating every query makes the two plans
+  // evict each other's working set on every iteration — a cache pattern no
+  // deployment has, since production serves from one plan at a time. A
+  // block is long enough that only its first queries pay the refill, and
+  // blocks are short enough that clock drift lands on both plans evenly.
+  serve::ForwardPlan plan64 = serve::PlanCompiler::Compile(
+      model, dataset.history(), serve::Precision::kFp64);
   Regime compiled;
   compiled.name = "cold_plan";
-  for (int i = 0; i < cold_iters + 3; ++i) {
-    const uint64_t start = MonotonicNanos();
-    plan.Run(single.inputs);
-    const uint64_t elapsed = MonotonicNanos() - start;
-    if (i >= 3) compiled.nanos.push_back(elapsed);
+  Regime compiled64;
+  compiled64.name = "cold_plan_fp64";
+  const int block_iters = smoke ? 10 : 25;
+  const int warm_iters = 3;
+  for (int block = 0; block * block_iters < cold_iters; ++block) {
+    for (int i = 0; i < block_iters + warm_iters; ++i) {
+      const uint64_t start32 = MonotonicNanos();
+      plan.Run(single.inputs);
+      const uint64_t elapsed32 = MonotonicNanos() - start32;
+      if (i >= warm_iters) compiled.nanos.push_back(elapsed32);
+    }
+    for (int i = 0; i < block_iters + warm_iters; ++i) {
+      const uint64_t start64 = MonotonicNanos();
+      plan64.Run(single.inputs);
+      const uint64_t elapsed64 = MonotonicNanos() - start64;
+      if (i >= warm_iters) compiled64.nanos.push_back(elapsed64);
+    }
   }
   regimes.push_back(tape);
   regimes.push_back(compiled);
+  regimes.push_back(compiled64);
+  const int64_t num_samples = dataset.NumSamples();
+  MaxDeltas deltas;
+  const int64_t delta_queries = smoke ? 4 : 16;
+  for (int64_t q = 0; q < delta_queries; ++q) {
+    Batch query = dataset.MakeBatch({(q * 7) % num_samples});
+    plan.Run(query.inputs);
+    plan64.Run(query.inputs);
+    AccumulateDeltas(plan64, plan, &deltas);
+  }
+  const double fp32_speedup =
+      static_cast<double>(compiled64.p50()) /
+      static_cast<double>(std::max<uint64_t>(compiled.p50(), 1));
+  const bool gate_pass = deltas.kl <= serve::kPrecisionKlTolerance &&
+                         deltas.js <= serve::kPrecisionJsTolerance &&
+                         deltas.emd <= serve::kPrecisionEmdTolerance;
+  if (precision_only) {
+    std::printf("%-16s %10s %10s\n", "plan", "p50_us", "p99_us");
+    std::printf("%-16s %10.1f %10.1f\n", "fp32",
+                static_cast<double>(compiled.p50()) * 1e-3,
+                static_cast<double>(compiled.p99()) * 1e-3);
+    std::printf("%-16s %10.1f %10.1f\n", "fp64",
+                static_cast<double>(compiled64.p50()) * 1e-3,
+                static_cast<double>(compiled64.p99()) * 1e-3);
+    std::printf("fp32_speedup_vs_fp64_p50: %.2fx\n", fp32_speedup);
+    std::printf("max_kl %.3g  max_js %.3g  max_emd %.3g  gate %s\n",
+                deltas.kl, deltas.js, deltas.emd,
+                gate_pass ? "pass" : "REJECT");
+    std::remove(checkpoint.c_str());
+    return gate_pass ? 0 : 1;
+  }
 
   // --- batched serving at several concurrency levels -----------------
   serve::ServeConfig serve_config = serve::ServeConfig::FromEnv();
   serve::ForecastService service(
       &dataset, serve::PlanCompiler::Compile(model, dataset.history()),
       serve_config);
-  const int64_t num_samples = dataset.NumSamples();
   const std::vector<int64_t> levels = {1, 2, 4, 8};
   for (int64_t level : levels) {
     Regime regime;
@@ -186,6 +280,11 @@ int Run(bool smoke) {
   }
   std::printf("plan_speedup_vs_tape_p50: %.2fx\n", speedup);
   std::printf("cold_over_cached_p50:     %.0fx\n", cache_ratio);
+  std::printf("fp32_speedup_vs_fp64_p50: %.2fx\n", fp32_speedup);
+  std::printf("precision deltas: max_kl %.3g  max_js %.3g  max_emd %.3g  "
+              "gate %s\n",
+              deltas.kl, deltas.js, deltas.emd,
+              gate_pass ? "pass" : "REJECT");
 
   std::string json = "{\n";
   json += "  \"bench\": \"serving\",\n";
@@ -194,11 +293,33 @@ int Run(bool smoke) {
     AppendRegimeJson(&json, regimes[i], i + 1 == regimes.size());
   }
   json += "  ],\n";
-  char buf[160];
+  char buf[640];
   std::snprintf(buf, sizeof buf,
                 "  \"plan_speedup_vs_tape_p50\": %.2f,\n"
                 "  \"cold_over_cached_p50\": %.1f,\n",
                 speedup, cache_ratio);
+  json += buf;
+  // Single-query QPS: serial replay rate at p50 latency.
+  std::snprintf(
+      buf, sizeof buf,
+      "  \"precision\": {\n"
+      "    \"fp32\": {\"p50_ns\": %llu, \"p99_ns\": %llu, \"qps\": %.1f},\n"
+      "    \"fp64\": {\"p50_ns\": %llu, \"p99_ns\": %llu, \"qps\": %.1f},\n"
+      "    \"fp32_speedup_vs_fp64_p50\": %.2f,\n"
+      "    \"max_kl\": %.6g, \"max_js\": %.6g, \"max_emd\": %.6g,\n"
+      "    \"tolerance_kl\": %.3g, \"tolerance_js\": %.3g, "
+      "\"tolerance_emd\": %.3g,\n"
+      "    \"gate\": \"%s\"\n"
+      "  },\n",
+      static_cast<unsigned long long>(compiled.p50()),
+      static_cast<unsigned long long>(compiled.p99()),
+      1e9 / static_cast<double>(std::max<uint64_t>(compiled.p50(), 1)),
+      static_cast<unsigned long long>(compiled64.p50()),
+      static_cast<unsigned long long>(compiled64.p99()),
+      1e9 / static_cast<double>(std::max<uint64_t>(compiled64.p50(), 1)),
+      fp32_speedup, deltas.kl, deltas.js, deltas.emd,
+      serve::kPrecisionKlTolerance, serve::kPrecisionJsTolerance,
+      serve::kPrecisionEmdTolerance, gate_pass ? "pass" : "reject");
   json += buf;
   json += "  \"metrics\": ";
   json += MetricsRegistry::Global().ToJson();
@@ -227,6 +348,15 @@ int Run(bool smoke) {
                    speedup);
       return 1;
     }
+    if (!gate_pass) {
+      std::fprintf(stderr,
+                   "SMOKE FAIL: precision delta over tolerance "
+                   "(kl %.3g/%.3g  js %.3g/%.3g  emd %.3g/%.3g)\n",
+                   deltas.kl, serve::kPrecisionKlTolerance, deltas.js,
+                   serve::kPrecisionJsTolerance, deltas.emd,
+                   serve::kPrecisionEmdTolerance);
+      return 1;
+    }
   }
   return 0;
 }
@@ -236,8 +366,10 @@ int Run(bool smoke) {
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool precision_only = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--precision") == 0) precision_only = true;
   }
-  return odf::bench::Run(smoke);
+  return odf::bench::Run(smoke, precision_only);
 }

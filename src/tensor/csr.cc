@@ -91,25 +91,22 @@ enum class SpmmEpilogue {
   kAddOther,     // out = acc + other       (final gradient combine)
 };
 
-// Core CSR × dense kernel over strided row views. `x`, `other` and `out`
-// address row (b, i) at base + (b·n + i)·ld — so a feature-column slice of a
-// larger tensor can be read or written in place (ld = the enclosing row
-// width). `other` is only dereferenced by the epilogues that use it.
-// Accumulation per output element is in ascending column order of `a`,
-// independent of thread count.
-template <SpmmEpilogue kEp, bool kSerial = false>
-void SpmmTiled(const CsrMatrix& a, int64_t batch, int64_t f,
-               const float* x, int64_t ldx, const float* other,
-               int64_t ldother, float* out, int64_t ldo) {
+// Core CSR × dense kernel over strided row views, templated on the scalar
+// type (the double instantiation backs the fp64 reference serving plan; the
+// float one is the substrate path). `x`, `other` and `out` address row
+// (b, i) at base + (b·n + i)·ld — so a feature-column slice of a larger
+// tensor can be read or written in place (ld = the enclosing row width).
+// `other` is only dereferenced by the epilogues that use it. Accumulation
+// per output element is in ascending column order of `a`, independent of
+// thread count.
+template <SpmmEpilogue kEp, bool kSerial, typename T>
+void SpmmTiledRaw(const int64_t* rp, const int32_t* ci, const T* av,
+                  int64_t rows, int64_t cols, int64_t nnz, int64_t batch,
+                  int64_t f, const T* x, int64_t ldx, const T* other,
+                  int64_t ldother, T* out, int64_t ldo) {
   if (f == 0 || batch == 0) return;
-  const int64_t rows = a.rows();
-  const int64_t cols = a.cols();
-  const int64_t* rp = a.row_ptr().data();
-  const int32_t* ci = a.col_idx().data();
-  const float* av = a.values().data();
-
   const int64_t flops_per_row =
-      std::max<int64_t>(1, 2 * a.nnz() / std::max<int64_t>(1, rows) * f);
+      std::max<int64_t>(1, 2 * nnz / std::max<int64_t>(1, rows) * f);
   // kSerial callers (the compiled serving path) run the whole range inline:
   // chunk partitioning never changes per-element results, only who computes
   // them, so this is purely a dispatch-cost decision.
@@ -117,13 +114,13 @@ void SpmmTiled(const CsrMatrix& a, int64_t batch, int64_t f,
       kSerial ? batch * rows
               : std::max<int64_t>(1, kSpmmGrainFlops / flops_per_row);
   ParallelFor(batch * rows, grain, [&](int64_t t0, int64_t t1) {
-    float acc[kFTile];
+    T acc[kFTile];
     for (int64_t t = t0; t < t1; ++t) {
       const int64_t b = t / rows;
       const int64_t i = t % rows;
-      const float* __restrict xb = x + b * cols * ldx;
-      float* __restrict orow = out + (b * rows + i) * ldo;
-      const float* __restrict vrow =
+      const T* __restrict xb = x + b * cols * ldx;
+      T* __restrict orow = out + (b * rows + i) * ldo;
+      const T* __restrict vrow =
           other != nullptr ? other + (b * rows + i) * ldother : nullptr;
       const int64_t begin = rp[i];
       const int64_t end = rp[i + 1];
@@ -134,10 +131,10 @@ void SpmmTiled(const CsrMatrix& a, int64_t batch, int64_t f,
         // runtime bound forces acc through the stack every iteration).
         auto accumulate = [&]<bool kFull>(int64_t width) {
           if constexpr (kFull) width = kFTile;
-          for (int64_t c = 0; c < width; ++c) acc[c] = 0.0f;
+          for (int64_t c = 0; c < width; ++c) acc[c] = T(0);
           for (int64_t idx = begin; idx < end; ++idx) {
-            const float v = av[idx];
-            const float* __restrict xrow =
+            const T v = av[idx];
+            const T* __restrict xrow =
                 xb + static_cast<int64_t>(ci[idx]) * ldx + f0;
             for (int64_t c = 0; c < width; ++c) {
               acc[c] = ODF_FMADD(v, xrow[c], acc[c]);
@@ -147,9 +144,9 @@ void SpmmTiled(const CsrMatrix& a, int64_t batch, int64_t f,
             if constexpr (kEp == SpmmEpilogue::kStore) {
               orow[f0 + c] = acc[c];
             } else if constexpr (kEp == SpmmEpilogue::kChebCombine) {
-              orow[f0 + c] = 2.0f * acc[c] - vrow[f0 + c];
+              orow[f0 + c] = T(2) * acc[c] - vrow[f0 + c];
             } else if constexpr (kEp == SpmmEpilogue::kAddTwice) {
-              orow[f0 + c] += 2.0f * acc[c];
+              orow[f0 + c] += T(2) * acc[c];
             } else {
               orow[f0 + c] = acc[c] + vrow[f0 + c];
             }
@@ -163,6 +160,16 @@ void SpmmTiled(const CsrMatrix& a, int64_t batch, int64_t f,
       }
     }
   });
+}
+
+// CsrMatrix-facade wrapper over the raw core (float substrate path).
+template <SpmmEpilogue kEp, bool kSerial = false>
+void SpmmTiled(const CsrMatrix& a, int64_t batch, int64_t f,
+               const float* x, int64_t ldx, const float* other,
+               int64_t ldother, float* out, int64_t ldo) {
+  SpmmTiledRaw<kEp, kSerial>(a.row_ptr().data(), a.col_idx().data(),
+                             a.values().data(), a.rows(), a.cols(), a.nnz(),
+                             batch, f, x, ldx, other, ldother, out, ldo);
 }
 
 Tensor SpMM(const CsrMatrix& a, const Tensor& x) {
@@ -259,6 +266,127 @@ void ChebyshevBasisInto(const GraphOperator& op, const Tensor& x,
   }
 }
 
+template <typename T>
+void ChebyshevBasisWideRaw(const T* dense, const int64_t* row_ptr,
+                           const int32_t* col_idx, const T* values,
+                           int64_t nnz, int64_t n, const T* x, int64_t batch,
+                           int64_t f, int64_t order, T* out, T* w0, T* w1,
+                           T* w2) {
+  const int64_t ld = order * f;
+  const T* px = x;
+  T* po = out;
+  if (order == 1 || f == 0) {
+    for (int64_t t = 0; t < batch * n; ++t) {
+      std::memcpy(po + t * ld, px + t * f,
+                  static_cast<size_t>(f) * sizeof(T));
+    }
+    return;
+  }
+
+  const int64_t wide = batch * f;
+  T* bufs[3] = {w0, w1, w2};
+
+  // With one batch element the wide node-major layout coincides with x's own
+  // [n, f] layout, so the transpose-in would be a verbatim copy: tap 0 reads
+  // x directly instead. (bufs[0] still serves as the s=3 cycle slot.)
+  const bool direct_t0 = batch == 1;
+  const auto tap0 = [&]() -> const T* { return direct_t0 ? px : bufs[0]; };
+
+  // The per-row copies below move only a handful of elements each (f is a
+  // feature count, typically 7–21), so a library memcpy call per row would
+  // dominate the whole basis. Inline element loops keep them in-register.
+  //
+  // One pass over x does double duty: T_1 lands in its feature-column slice
+  // of `out`, and the transpose-in fills bufs[0][i, b·f + c] = x[b, i, c] —
+  // node-major, so every SpMM row visit streams `wide` contiguous elements.
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t i = 0; i < n; ++i) {
+      const T* __restrict src = px + (b * n + i) * f;
+      T* __restrict t1 = po + (b * n + i) * ld;
+      if (direct_t0) {
+        for (int64_t c = 0; c < f; ++c) t1[c] = src[c];
+      } else {
+        T* __restrict tr = bufs[0] + i * wide + b * f;
+        for (int64_t c = 0; c < f; ++c) {
+          t1[c] = src[c];
+          tr[c] = src[c];
+        }
+      }
+    }
+  }
+  // Scatter a wide tap back into feature-column slice `s` of `out`. Reads
+  // stream through `tap` (i-major) while writes stride by `ld`.
+  const auto scatter = [&](const T* tap, int64_t s) {
+    for (int64_t i = 0; i < n; ++i) {
+      const T* __restrict trow = tap + i * wide;
+      for (int64_t b = 0; b < batch; ++b) {
+        T* __restrict dst = po + (b * n + i) * ld + s * f;
+        for (int64_t c = 0; c < f; ++c) dst[c] = trow[b * f + c];
+      }
+    }
+  };
+
+  // T_2 = L̂·T_1, then T_s = 2·L̂·T_{s-1} − T_{s-2}, all in wide layout.
+  if (dense != nullptr) {
+    // Dense graph: one blocked [n,n] x [n,wide] GEMM per tap keeps the full
+    // register-tile accumulator block hot — far higher throughput than the
+    // row-chained SpMM on a dense operator. Zero-skip transparency plus the
+    // shared fused-accumulation policy (ODF_FMADD) makes the result bit-
+    // identical to the CSR path. The 2·(L̂T) − T_{s-2} combine runs as a
+    // separate in-place pass; 2·x is exact, so the subtraction rounds once
+    // either way and matches the SpMM's fused epilogue bit-for-bit.
+    for (int64_t s = 1; s < order; ++s) {
+      T* cur = bufs[s % 3];
+      std::fill(cur, cur + n * wide, T(0));
+      GemmRawInto(dense, s == 1 ? tap0() : bufs[(s - 1) % 3], cur, n, n,
+                  wide);
+      if (s >= 2) {
+        // Combine fused into the scatter: one pass computes 2·(L̂T) − T_{s-2}
+        // (identical arithmetic and rounding to the separate pass) and
+        // writes it both back into `cur` — the recurrence needs T_s — and
+        // into the output slice.
+        const T* __restrict p2 = s == 2 ? tap0() : bufs[(s - 2) % 3];
+        for (int64_t i = 0; i < n; ++i) {
+          T* __restrict crow = cur + i * wide;
+          const T* __restrict prow = p2 + i * wide;
+          for (int64_t b = 0; b < batch; ++b) {
+            T* __restrict dst = po + (b * n + i) * ld + s * f;
+            for (int64_t c = 0; c < f; ++c) {
+              const T v = T(2) * crow[b * f + c] - prow[b * f + c];
+              crow[b * f + c] = v;
+              dst[c] = v;
+            }
+          }
+        }
+      } else {
+        scatter(cur, s);
+      }
+    }
+    return;
+  }
+
+  SpmmTiledRaw<SpmmEpilogue::kStore, /*kSerial=*/true>(
+      row_ptr, col_idx, values, n, n, nnz, 1, wide, tap0(), wide,
+      static_cast<const T*>(nullptr), 0, bufs[1], wide);
+  scatter(bufs[1], 1);
+  for (int64_t s = 2; s < order; ++s) {
+    SpmmTiledRaw<SpmmEpilogue::kChebCombine, /*kSerial=*/true>(
+        row_ptr, col_idx, values, n, n, nnz, 1, wide, bufs[(s - 1) % 3],
+        wide, s == 2 ? tap0() : bufs[(s - 2) % 3], wide, bufs[s % 3], wide);
+    scatter(bufs[s % 3], s);
+  }
+}
+
+template void ChebyshevBasisWideRaw(const float*, const int64_t*,
+                                    const int32_t*, const float*, int64_t,
+                                    int64_t, const float*, int64_t, int64_t,
+                                    int64_t, float*, float*, float*, float*);
+template void ChebyshevBasisWideRaw(const double*, const int64_t*,
+                                    const int32_t*, const double*, int64_t,
+                                    int64_t, const double*, int64_t, int64_t,
+                                    int64_t, double*, double*, double*,
+                                    double*);
+
 void ChebyshevBasisWideInto(const GraphOperator& op, const Tensor& x,
                             int64_t order, Tensor* out, Tensor* w0,
                             Tensor* w1, Tensor* w2) {
@@ -269,86 +397,17 @@ void ChebyshevBasisWideInto(const GraphOperator& op, const Tensor& x,
   const int64_t f = x.dim(2);
   ODF_CHECK_EQ(n, op.nodes());
   ODF_CHECK(out->shape() == Shape({batch, n, order * f}));
-  const int64_t ld = order * f;
-  const float* px = x.data();
-  float* po = out->data();
-  if (order == 1 || f == 0) {
-    for (int64_t t = 0; t < batch * n; ++t) {
-      std::memcpy(po + t * ld, px + t * f,
-                  static_cast<size_t>(f) * sizeof(float));
-    }
-    return;
+  if (order > 1 && f > 0) {
+    ODF_CHECK_GE(w0->numel(), n * batch * f);
+    ODF_CHECK_GE(w1->numel(), n * batch * f);
+    ODF_CHECK_GE(w2->numel(), n * batch * f);
   }
-
-  const int64_t wide = batch * f;
-  ODF_CHECK_GE(w0->numel(), n * wide);
-  ODF_CHECK_GE(w1->numel(), n * wide);
-  ODF_CHECK_GE(w2->numel(), n * wide);
-  float* bufs[3] = {w0->data(), w1->data(), w2->data()};
-
-  // The per-row copies below move only a handful of floats each (f is a
-  // feature count, typically 7–21), so a library memcpy call per row would
-  // dominate the whole basis. Inline element loops keep them in-register.
-  //
-  // One pass over x does double duty: T_1 lands in its feature-column slice
-  // of `out`, and the transpose-in fills bufs[0][i, b·f + c] = x[b, i, c] —
-  // node-major, so every SpMM row visit streams `wide` contiguous floats.
-  for (int64_t b = 0; b < batch; ++b) {
-    for (int64_t i = 0; i < n; ++i) {
-      const float* __restrict src = px + (b * n + i) * f;
-      float* __restrict t1 = po + (b * n + i) * ld;
-      float* __restrict tr = bufs[0] + i * wide + b * f;
-      for (int64_t c = 0; c < f; ++c) {
-        t1[c] = src[c];
-        tr[c] = src[c];
-      }
-    }
-  }
-  // Scatter a wide tap back into feature-column slice `s` of `out`. Reads
-  // stream through `tap` (i-major) while writes stride by `ld`.
-  const auto scatter = [&](const float* tap, int64_t s) {
-    for (int64_t i = 0; i < n; ++i) {
-      const float* __restrict trow = tap + i * wide;
-      for (int64_t b = 0; b < batch; ++b) {
-        float* __restrict dst = po + (b * n + i) * ld + s * f;
-        for (int64_t c = 0; c < f; ++c) dst[c] = trow[b * f + c];
-      }
-    }
-  };
-
-  // T_2 = L̂·T_1, then T_s = 2·L̂·T_{s-1} − T_{s-2}, all in wide layout.
-  if (!op.use_sparse()) {
-    // Dense graph: one blocked [n,n] x [n,wide] GEMM per tap keeps the full
-    // register-tile accumulator block hot — far higher throughput than the
-    // row-chained SpMM on a dense operator. Zero-skip transparency plus the
-    // shared fused-accumulation policy (ODF_FMADD) makes the result bit-
-    // identical to the CSR path. The 2·(L̂T) − T_{s-2} combine runs as a
-    // separate in-place pass; 2·x is exact, so the subtraction rounds once
-    // either way and matches the SpMM's fused epilogue bit-for-bit.
-    const float* pl = op.dense().data();
-    for (int64_t s = 1; s < order; ++s) {
-      float* cur = bufs[s % 3];
-      std::fill(cur, cur + n * wide, 0.0f);
-      GemmRawInto(pl, bufs[(s - 1) % 3], cur, n, n, wide);
-      if (s >= 2) {
-        const float* __restrict p2 = bufs[(s - 2) % 3];
-        for (int64_t e = 0; e < n * wide; ++e) cur[e] = 2.0f * cur[e] - p2[e];
-      }
-      scatter(cur, s);
-    }
-    return;
-  }
-
   const CsrMatrix& a = op.csr();
-  SpmmTiled<SpmmEpilogue::kStore, /*kSerial=*/true>(
-      a, 1, wide, bufs[0], wide, nullptr, 0, bufs[1], wide);
-  scatter(bufs[1], 1);
-  for (int64_t s = 2; s < order; ++s) {
-    SpmmTiled<SpmmEpilogue::kChebCombine, /*kSerial=*/true>(
-        a, 1, wide, bufs[(s - 1) % 3], wide, bufs[(s - 2) % 3], wide,
-        bufs[s % 3], wide);
-    scatter(bufs[s % 3], s);
-  }
+  ChebyshevBasisWideRaw(op.use_sparse() ? nullptr : op.dense().data(),
+                        a.row_ptr().data(), a.col_idx().data(),
+                        a.values().data(), a.nnz(), n, x.data(), batch, f,
+                        order, out->data(), w0->data(), w1->data(),
+                        w2->data());
 }
 
 Tensor ChebyshevBasis(const GraphOperator& op, const Tensor& x,

@@ -92,6 +92,23 @@ void ChebyshevBasisWideInto(const GraphOperator& op, const Tensor& x,
                             int64_t order, Tensor* out, Tensor* w0,
                             Tensor* w1, Tensor* w2);
 
+/// ChebyshevBasisWideInto over raw arrays at either scalar width — the core
+/// the float wrapper above delegates to, exposed so the precision-lowered
+/// serving plan (serve/forward_plan.h) can run the identical schedule over
+/// its own-width arenas. The graph operator arrives as a snapshot: a
+/// non-null `dense` ([n, n] row-major) selects the blocked-GEMM path,
+/// otherwise the CSR triple row_ptr/col_idx/values (`nnz` non-zeros, rows
+/// in ascending column order) drives the serial tiled SpMM. `x` is
+/// [batch, n, f] row-major, `out` [batch, n, order·f]; w0/w1/w2 are
+/// caller-owned scratch of at least batch·n·f elements each. Instantiated
+/// for float and double in csr.cc.
+template <typename T>
+void ChebyshevBasisWideRaw(const T* dense, const int64_t* row_ptr,
+                           const int32_t* col_idx, const T* values,
+                           int64_t nnz, int64_t n, const T* x, int64_t batch,
+                           int64_t f, int64_t order, T* out, T* w0, T* w1,
+                           T* w2);
+
 /// Adjoint of ChebyshevBasis: given dY [B, n, order·F], returns dX [B, n, F]
 /// by running the recurrence in reverse with L̂ᵀ.
 Tensor ChebyshevBasisGrad(const GraphOperator& op, const Tensor& grad,

@@ -11,10 +11,12 @@ namespace odf {
 ///
 /// `std::exp` compiles to a libm call, which blocks auto-vectorization of
 /// every elementwise loop that uses it (the scalar `exp` kernel measured
-/// 0.29 GFLOPs in BENCH_substrate.json). This routine is branch-free on its
-/// main path — range reduction x = n·ln2 + r, a degree-6 polynomial for
-/// e^r, and exponent reassembly via bit twiddling — so the compiler turns
-/// `Unary(a, FastExp)` into SIMD code.
+/// 0.29 GFLOPs in BENCH_substrate.json). This routine is fully branch-free —
+/// range reduction x = n·ln2 + r, a degree-6 polynomial for e^r, exponent
+/// reassembly via bit twiddling, and the out-of-range cases handled by
+/// clamping the input and selecting the saturated result at the end (no
+/// early returns) — so the compiler if-converts and turns `Unary(a,
+/// FastExp)` into SIMD code.
 ///
 /// Accuracy: within kFastExpMaxUlp ULP of `std::exp` over the whole finite
 /// range (asserted against std::exp by tensor_test). Out-of-range inputs
@@ -29,17 +31,21 @@ inline float FastExp(float x) {
   constexpr float kLn2Lo = -2.12194440e-4f;
   constexpr float kOverflow = 88.722839f;    // exp(x) > FLT_MAX above this
   constexpr float kUnderflow = -87.336544f;  // exp(x) subnormal below this
-  if (x > kOverflow) return std::numeric_limits<float>::infinity();
-  if (!(x >= kUnderflow)) return x != x ? x : 0.0f;  // NaN in, NaN out
+  // Clamp instead of early-returning: in-range x passes through unchanged
+  // (bit-identical main path), out-of-range/NaN x is pinned to a finite
+  // value so the int cast below never sees NaN, and the true result is
+  // selected branch-free at the end.
+  const float xc =
+      !(x >= kUnderflow) ? kUnderflow : (x > kOverflow ? kOverflow : x);
 
   // Round-to-nearest n = x/ln2 via the 1.5·2^23 magic-constant trick
   // (valid because |x·log2e| < 2^22 here); no libm rint, vectorizes.
   constexpr float kRoundMagic = 12582912.0f;  // 1.5 * 2^23
-  const float shifted = x * kLog2e + kRoundMagic;
+  const float shifted = xc * kLog2e + kRoundMagic;
   const float n = shifted - kRoundMagic;
   const int32_t ni = static_cast<int32_t>(n);
 
-  const float r = (x - n * kLn2Hi) - n * kLn2Lo;
+  const float r = (xc - n * kLn2Hi) - n * kLn2Lo;
   // Degree-6 Taylor/Horner for e^r on |r| ≤ ln2/2 (error < 1 ULP there).
   float p = 1.0f / 720.0f;
   p = p * r + 1.0f / 120.0f;
@@ -55,21 +61,103 @@ inline float FastExp(float x) {
   const int32_t n2 = ni - n1;
   const float s1 = std::bit_cast<float>(static_cast<uint32_t>(n1 + 127) << 23);
   const float s2 = std::bit_cast<float>(static_cast<uint32_t>(n2 + 127) << 23);
-  return p * s1 * s2;
+  float out = p * s1 * s2;
+  out = !(x >= kUnderflow) ? 0.0f : out;  // exact 0 below the subnormal edge
+  out = x > kOverflow ? std::numeric_limits<float>::infinity() : out;
+  return x != x ? x : out;  // NaN in, NaN out
+}
+
+/// Double-width FastExp for the fp64 reference serving plan
+/// (serve/forward_plan.h). Same construction as the float kernel — magic-
+/// constant round-to-nearest, Cody–Waite range reduction, Horner polynomial,
+/// two-half exponent reassembly — widened to double: the ln2 split carries
+/// ~42 extra residual bits and the polynomial runs to degree 13, whose
+/// truncation error (r^14/14! ≲ 5e-18 on |r| ≤ ln2/2) sits below half an
+/// ulp of the result. Verified within kFastExpMaxUlpF64 ulp of std::exp
+/// over the finite range by tensor_test; saturation/NaN contract matches
+/// the float kernel.
+constexpr int kFastExpMaxUlpF64 = 8;
+
+inline double FastExp(double x) {
+  constexpr double kLog2e = 1.4426950408889634074;
+  // ln2 split so r = x − n·ln2 keeps ~42 guard bits through the subtraction.
+  constexpr double kLn2Hi = 6.93147180369123816490e-01;
+  constexpr double kLn2Lo = 1.90821492927058770002e-10;
+  constexpr double kOverflow = 709.782712893384;    // exp(x) > DBL_MAX above
+  constexpr double kUnderflow = -708.396418532264;  // exp(x) subnormal below
+  // Branch-free out-of-range handling, mirroring the float kernel: clamp so
+  // the main path (and the int cast) only ever sees finite values, select
+  // the saturated result at the end.
+  const double xc =
+      !(x >= kUnderflow) ? kUnderflow : (x > kOverflow ? kOverflow : x);
+
+  // Round-to-nearest n = x/ln2 via the 1.5·2^52 magic constant (valid
+  // because |x·log2e| < 2^11 here); no libm rint, vectorizes.
+  constexpr double kRoundMagic = 6755399441055744.0;  // 1.5 * 2^52
+  const double shifted = xc * kLog2e + kRoundMagic;
+  const double n = shifted - kRoundMagic;
+  const int64_t ni = static_cast<int64_t>(n);
+
+  const double r = (xc - n * kLn2Hi) - n * kLn2Lo;
+  // Degree-13 Taylor/Horner for e^r on |r| ≤ ln2/2.
+  double p = 1.0 / 6227020800.0;  // 1/13!
+  p = p * r + 1.0 / 479001600.0;
+  p = p * r + 1.0 / 39916800.0;
+  p = p * r + 1.0 / 3628800.0;
+  p = p * r + 1.0 / 362880.0;
+  p = p * r + 1.0 / 40320.0;
+  p = p * r + 1.0 / 5040.0;
+  p = p * r + 1.0 / 720.0;
+  p = p * r + 1.0 / 120.0;
+  p = p * r + 1.0 / 24.0;
+  p = p * r + 1.0 / 6.0;
+  p = p * r + 0.5;
+  p = p * r + 1.0;
+  p = p * r + 1.0;
+
+  // 2^n in two halves: n can reach 1024, which does not fit one biased
+  // exponent, but two factors of 2^(n/2) always do.
+  const int64_t n1 = ni / 2;
+  const int64_t n2 = ni - n1;
+  const double s1 =
+      std::bit_cast<double>(static_cast<uint64_t>(n1 + 1023) << 52);
+  const double s2 =
+      std::bit_cast<double>(static_cast<uint64_t>(n2 + 1023) << 52);
+  double out = p * s1 * s2;
+  out = !(x >= kUnderflow) ? 0.0 : out;  // exact 0 below the subnormal edge
+  out = x > kOverflow ? std::numeric_limits<double>::infinity() : out;
+  return x != x ? x : out;  // NaN in, NaN out
 }
 
 /// Sigmoid on top of FastExp: 1 / (1 + e^{-x}).
 inline float FastSigmoid(float x) { return 1.0f / (1.0f + FastExp(-x)); }
+inline double FastSigmoid(double x) { return 1.0 / (1.0 + FastExp(-x)); }
 
 /// Tanh on top of FastExp: sign(x) · (e^{2|x|} − 1) / (e^{2|x|} + 1).
 /// Using −2|x| keeps the exp argument non-positive (no overflow) and the
 /// division well-conditioned; |x| ≥ 10 saturates to ±1 (as float tanh does).
+/// Branch-free like FastExp: the saturated tail is clamped through the main
+/// path and the result selected at the end, so gate loops vectorize.
 inline float FastTanh(float x) {
   const float ax = x < 0.0f ? -x : x;
-  if (!(ax < 10.0f)) return x != x ? x : (x < 0.0f ? -1.0f : 1.0f);
-  const float u = FastExp(-2.0f * ax);
+  const float axc = ax < 10.0f ? ax : 10.0f;  // NaN also pins to 10
+  const float u = FastExp(-2.0f * axc);
   const float t = (1.0f - u) / (1.0f + u);
-  return x < 0.0f ? -t : t;
+  float out = ax < 10.0f ? t : 1.0f;
+  out = x < 0.0f ? -out : out;
+  return x != x ? x : out;
+}
+
+/// Double tanh; saturation moves out to |x| ≥ 20 (tanh(20) is within one
+/// double ulp of 1).
+inline double FastTanh(double x) {
+  const double ax = x < 0.0 ? -x : x;
+  const double axc = ax < 20.0 ? ax : 20.0;  // NaN also pins to 20
+  const double u = FastExp(-2.0 * axc);
+  const double t = (1.0 - u) / (1.0 + u);
+  double out = ax < 20.0 ? t : 1.0;
+  out = x < 0.0 ? -out : out;
+  return x != x ? x : out;
 }
 
 }  // namespace odf

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <memory>
 #include <vector>
 
@@ -51,18 +52,27 @@ static_assert(kMC % kMR == 0, "row block must hold whole strips");
 // row-block loop goes parallel once a chunk is worth at least this much.
 constexpr int64_t kGemmNaiveFlops = 1 << 12;
 
+// Every kernel in this block is templated on the scalar type T: the float
+// instantiation is the fp32 substrate (tape and compiled plan share it, so
+// plan-vs-tape bit-identity is structural), and the double instantiation
+// backs the fp64 reference serving plan. Loop bodies are identical at both
+// widths; only the register economics differ (tile constants are sized for
+// the fp32 vector width, so the double kernels run at roughly half the
+// lane count — exactly the gap bench_serving's precision sweep measures).
+
 // The seed's i-k-j triple loop; kept as the small-problem path (and as the
 // reference the blocked kernel is tested against). Accumulates over k in
 // ascending order, exactly like the micro-kernel.
-void GemmNaive(const float* pa, const float* pb, float* po, int64_t m,
+template <typename T>
+void GemmNaive(const T* pa, const T* pb, T* po, int64_t m,
                int64_t k, int64_t n) {
   for (int64_t i = 0; i < m; ++i) {
-    float* orow = po + i * n;
-    const float* arow = pa + i * k;
+    T* orow = po + i * n;
+    const T* arow = pa + i * k;
     for (int64_t kk = 0; kk < k; ++kk) {
-      const float av = arow[kk];
-      if (av == 0.0f) continue;
-      const float* brow = pb + kk * n;
+      const T av = arow[kk];
+      if (av == T(0)) continue;
+      const T* brow = pb + kk * n;
       for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
     }
   }
@@ -71,17 +81,18 @@ void GemmNaive(const float* pa, const float* pb, float* po, int64_t m,
 // Packs rows [i0, i0+rows) x columns [k0, k0+depth) of `a` (leading
 // dimension `lda`) into `buf` as ceil(rows/kMR) interleaved strips:
 // buf[strip][kk * kMR + r] = a[i0 + strip*kMR + r][k0 + kk], zero-padded in
-// r, so the micro-kernel loads kMR contiguous floats per k step.
-void PackA(const float* a, int64_t lda, int64_t i0, int64_t rows, int64_t k0,
-           int64_t depth, float* buf) {
+// r, so the micro-kernel loads kMR contiguous elements per k step.
+template <typename T>
+void PackA(const T* a, int64_t lda, int64_t i0, int64_t rows, int64_t k0,
+           int64_t depth, T* buf) {
   const int64_t strips = (rows + kMR - 1) / kMR;
   for (int64_t s = 0; s < strips; ++s) {
-    float* dst = buf + s * depth * kMR;
+    T* dst = buf + s * depth * kMR;
     const int64_t r_limit = std::min<int64_t>(kMR, rows - s * kMR);
     for (int64_t kk = 0; kk < depth; ++kk) {
       for (int64_t r = 0; r < kMR; ++r) {
         dst[kk * kMR + r] =
-            r < r_limit ? a[(i0 + s * kMR + r) * lda + k0 + kk] : 0.0f;
+            r < r_limit ? a[(i0 + s * kMR + r) * lda + k0 + kk] : T(0);
       }
     }
   }
@@ -93,15 +104,16 @@ int64_t NumJTiles(int64_t n) { return (n + kNR - 1) / kNR; }
 // Packs columns [jt*kNR, ...) of `b` (k x n) into tile `jt` of `buf`:
 // buf[jt*k*kNR + kk*kNR + jr] = b[kk][jt*kNR + jr], zero-padded in jr. The
 // micro-kernel then streams B with unit stride regardless of n.
-void PackBTile(const float* b, int64_t k, int64_t n, int64_t jt, float* buf) {
+template <typename T>
+void PackBTile(const T* b, int64_t k, int64_t n, int64_t jt, T* buf) {
   const int64_t j0 = jt * kNR;
   const int64_t nr = std::min<int64_t>(kNR, n - j0);
-  float* dst = buf + jt * k * kNR;
+  T* dst = buf + jt * k * kNR;
   for (int64_t kk = 0; kk < k; ++kk) {
-    const float* src = b + kk * n + j0;
-    float* row = dst + kk * kNR;
+    const T* src = b + kk * n + j0;
+    T* row = dst + kk * kNR;
     for (int64_t j = 0; j < nr; ++j) row[j] = src[j];
-    for (int64_t j = nr; j < kNR; ++j) row[j] = 0.0f;
+    for (int64_t j = nr; j < kNR; ++j) row[j] = T(0);
   }
 }
 
@@ -111,18 +123,18 @@ void PackBTile(const float* b, int64_t k, int64_t n, int64_t jt, float* buf) {
 // narrower power-of-two (kNR/2, kNR/4) for n % kNR column remainders so that
 // common skinny outputs (e.g. n = 16 with kNR = 32) do not fall back to the
 // runtime-bounded edge kernel. B panel rows keep their kNR stride.
-template <int64_t W>
-void MicroKernelFull(const float* ap, const float* bp, float* c, int64_t ldc,
+template <int64_t W, typename T>
+void MicroKernelFull(const T* ap, const T* bp, T* c, int64_t ldc,
                      int64_t depth) {
-  float acc[kMR * W];
+  T acc[kMR * W];
   for (int64_t r = 0; r < kMR; ++r) {
     for (int64_t j = 0; j < W; ++j) acc[r * W + j] = c[r * ldc + j];
   }
   for (int64_t kk = 0; kk < depth; ++kk) {
-    const float* brow = bp + kk * kNR;
-    const float* astrip = ap + kk * kMR;
+    const T* brow = bp + kk * kNR;
+    const T* astrip = ap + kk * kMR;
     for (int64_t r = 0; r < kMR; ++r) {
-      const float av = astrip[r];
+      const T av = astrip[r];
       for (int64_t j = 0; j < W; ++j) acc[r * W + j] += av * brow[j];
     }
   }
@@ -131,19 +143,47 @@ void MicroKernelFull(const float* ap, const float* bp, float* c, int64_t ldc,
   }
 }
 
-// Edge tiles (m % kMR / n % kNR remainders) with runtime bounds; B padding
-// makes reads past nr safe, but only [mr, nr) is stored back.
-void MicroKernelEdge(const float* ap, const float* bp, float* c, int64_t ldc,
+// Full-height tiles whose nr is not one of the compile-time widths above
+// (skinny n % kNR remainders, e.g. the model's beta/bucket dims landing on
+// n in 4..16): compute the whole compile-time width W >= nr in registers —
+// B panel rows are zero-padded to kNR, so the extra lanes read zeros — and
+// store back only the nr live columns. Per live element the accumulation is
+// term-for-term identical to MicroKernelFull/Edge, so this is a pure store
+// mask, not a different rounding.
+template <int64_t W, typename T>
+void MicroKernelFullTail(const T* ap, const T* bp, T* c, int64_t ldc,
+                         int64_t depth, int64_t nr) {
+  T acc[kMR * W] = {};
+  for (int64_t r = 0; r < kMR; ++r) {
+    for (int64_t j = 0; j < nr; ++j) acc[r * W + j] = c[r * ldc + j];
+  }
+  for (int64_t kk = 0; kk < depth; ++kk) {
+    const T* brow = bp + kk * kNR;
+    const T* astrip = ap + kk * kMR;
+    for (int64_t r = 0; r < kMR; ++r) {
+      const T av = astrip[r];
+      for (int64_t j = 0; j < W; ++j) acc[r * W + j] += av * brow[j];
+    }
+  }
+  for (int64_t r = 0; r < kMR; ++r) {
+    for (int64_t j = 0; j < nr; ++j) c[r * ldc + j] = acc[r * W + j];
+  }
+}
+
+// Edge tiles (m % kMR row remainders) with runtime bounds; B padding makes
+// reads past nr safe, but only [mr, nr) is stored back.
+template <typename T>
+void MicroKernelEdge(const T* ap, const T* bp, T* c, int64_t ldc,
                      int64_t depth, int64_t mr, int64_t nr) {
-  float acc[kMR * kNR] = {};
+  T acc[kMR * kNR] = {};
   for (int64_t r = 0; r < mr; ++r) {
     for (int64_t j = 0; j < nr; ++j) acc[r * kNR + j] = c[r * ldc + j];
   }
   for (int64_t kk = 0; kk < depth; ++kk) {
-    const float* brow = bp + kk * kNR;
-    const float* astrip = ap + kk * kMR;
+    const T* brow = bp + kk * kNR;
+    const T* astrip = ap + kk * kMR;
     for (int64_t r = 0; r < mr; ++r) {
-      const float av = astrip[r];
+      const T av = astrip[r];
       for (int64_t j = 0; j < nr; ++j) acc[r * kNR + j] += av * brow[j];
     }
   }
@@ -157,8 +197,9 @@ void MicroKernelEdge(const float* ap, const float* bp, float* c, int64_t ldc,
 // absolute (multiples of kMC from row 0), so any partition of blocks across
 // threads computes each C element with the identical k-ascending
 // accumulation order.
-void GemmRows(const float* pa, const float* bpack, float* po, int64_t k,
-              int64_t n, int64_t i0, int64_t i1, float* apack) {
+template <typename T>
+void GemmRows(const T* pa, const T* bpack, T* po, int64_t k,
+              int64_t n, int64_t i0, int64_t i1, T* apack) {
   for (int64_t ib = i0; ib < i1; ib += kMC) {
     const int64_t rows = std::min(kMC, i1 - ib);
     for (int64_t k0 = 0; k0 < k; k0 += kKC) {
@@ -168,17 +209,30 @@ void GemmRows(const float* pa, const float* bpack, float* po, int64_t k,
       for (int64_t jt = 0; jt < NumJTiles(n); ++jt) {
         const int64_t j0 = jt * kNR;
         const int64_t nr = std::min<int64_t>(kNR, n - j0);
-        const float* bpanel = bpack + jt * k * kNR + k0 * kNR;
+        const T* bpanel = bpack + jt * k * kNR + k0 * kNR;
         for (int64_t s = 0; s < strips; ++s) {
-          const float* ap = apack + s * depth * kMR;
-          float* c = po + (ib + s * kMR) * n + j0;
+          const T* ap = apack + s * depth * kMR;
+          T* c = po + (ib + s * kMR) * n + j0;
           const int64_t mr = std::min(kMR, rows - s * kMR);
-          if (mr == kMR && nr == kNR) {
-            MicroKernelFull<kNR>(ap, bpanel, c, n, depth);
-          } else if (mr == kMR && nr == kNR / 2 && kNR / 2 >= 8) {
-            MicroKernelFull<kNR / 2>(ap, bpanel, c, n, depth);
-          } else if (mr == kMR && nr == kNR / 4 && kNR / 4 >= 8) {
-            MicroKernelFull<kNR / 4>(ap, bpanel, c, n, depth);
+          if (mr == kMR) {
+            // Full-height strip: pick the narrowest compile-time tile
+            // covering nr so no skinny column remainder (n % kNR down to 1)
+            // ever reaches the runtime-bounded edge kernel.
+            if (nr == kNR) {
+              MicroKernelFull<kNR>(ap, bpanel, c, n, depth);
+            } else if (nr == kNR / 2 && kNR / 2 >= 8) {
+              MicroKernelFull<kNR / 2>(ap, bpanel, c, n, depth);
+            } else if (nr == kNR / 4 && kNR / 4 >= 8) {
+              MicroKernelFull<kNR / 4>(ap, bpanel, c, n, depth);
+            } else if (nr <= 4) {
+              MicroKernelFullTail<4>(ap, bpanel, c, n, depth, nr);
+            } else if (nr <= 8) {
+              MicroKernelFullTail<8>(ap, bpanel, c, n, depth, nr);
+            } else if (nr <= kNR / 2) {
+              MicroKernelFullTail<kNR / 2>(ap, bpanel, c, n, depth, nr);
+            } else {
+              MicroKernelFullTail<kNR>(ap, bpanel, c, n, depth, nr);
+            }
           } else {
             MicroKernelEdge(ap, bpanel, c, n, depth, mr, nr);
           }
@@ -188,59 +242,17 @@ void GemmRows(const float* pa, const float* bpack, float* po, int64_t k,
   }
 }
 
-// Per-thread A-packing scratch (kMC x kKC, fixed size). PackA fully writes
-// every element it later reads — padding included — so the buffer is never
-// zero-initialized; reusing it across calls removes a 64 KB value-init from
-// every blocked GEMM, which dominates small serving-sized products.
-float* ApackScratch() {
-  thread_local std::unique_ptr<float[]> buf =
-      std::make_unique_for_overwrite<float[]>(
-          static_cast<size_t>(kMC * kKC));
+// Per-thread A-packing scratch (kMC x kKC, fixed size — one buffer per
+// scalar width). PackA fully writes every element it later reads — padding
+// included — so the buffer is never zero-initialized; reusing it across
+// calls removes a 64 KB value-init from every blocked GEMM, which dominates
+// small serving-sized products.
+template <typename T>
+T* ApackScratch() {
+  thread_local std::unique_ptr<T[]> buf =
+      std::make_unique_for_overwrite<T[]>(static_cast<size_t>(kMC * kKC));
   return buf.get();
 }
-
-// True when the blocked path would waste more on packing than it gains:
-// small problems and degenerate (vector-like) operands.
-bool UseNaiveGemm(int64_t m, int64_t k, int64_t n) {
-  return m * k * n <= kGemmNaiveFlops || m < kMR || n <= 8;
-}
-
-// Shared entry: C (zero-initialized, m x n) += A (m x k) * B (k x n),
-// choosing naive / blocked-serial / blocked-parallel by problem size.
-void Gemm(const float* pa, const float* pb, float* po, int64_t m, int64_t k,
-          int64_t n) {
-  if (UseNaiveGemm(m, k, n)) {
-    GemmNaive(pa, pb, po, m, k, n);
-    return;
-  }
-  // PackBTile fully writes each tile (padding included), so the pack buffer
-  // is allocated uninitialized.
-  auto bpack = std::make_unique_for_overwrite<float[]>(
-      static_cast<size_t>(NumJTiles(n) * k * kNR));
-  const int64_t pack_grain =
-      std::max<int64_t>(1, kElemGrain / std::max<int64_t>(1, k * kNR));
-  ParallelFor(NumJTiles(n), pack_grain, [&](int64_t t0, int64_t t1) {
-    for (int64_t jt = t0; jt < t1; ++jt) PackBTile(pb, k, n, jt, bpack.get());
-  });
-  const int64_t num_blocks = (m + kMC - 1) / kMC;
-  const int64_t flops_per_block = std::min(kMC, m) * k * n;
-  const int64_t grain = std::max<int64_t>(
-      1, kGemmNaiveFlops / std::max<int64_t>(1, flops_per_block));
-  ParallelFor(num_blocks, grain, [&](int64_t b0, int64_t b1) {
-    GemmRows(pa, bpack.get(), po, k, n, b0 * kMC, std::min(m, b1 * kMC),
-             ApackScratch());
-  });
-}
-
-// Runs an elementwise-style kernel over [0, n) flat indices.
-template <typename Body>
-void ParallelElems(int64_t n, const Body& body) {
-  ParallelFor(n, kElemGrain, body);
-}
-
-}  // namespace
-
-namespace {
 
 // Widest output for the register-strip small-N kernel below. The serving
 // models' weight matmuls are all this narrow (n = buckets, filters or
@@ -253,24 +265,25 @@ constexpr int64_t kSmallNMax = 16;
 // output element accumulates a[i, :]·b[:, j] in ascending k — the identical
 // per-element sum, term for term, as GemmNaive — and padding columns are
 // computed into registers but never stored, so results are bit-identical to
-// the unpacked kernels. Serial.
-template <int64_t P>
-void GemmSmallPadded(const float* a, const float* bp, float* po, int64_t rows,
+// the unpacked kernels. Serial; per-row results are independent, so callers
+// may split the row range across threads without changing any element.
+template <int64_t P, typename T>
+void GemmSmallPadded(const T* a, const T* bp, T* po, int64_t rows,
                      int64_t k, int64_t n) {
   constexpr int64_t R = 4;  // row strip: R·P accumulators
   int64_t i = 0;
   for (; i + R <= rows; i += R) {
-    float acc[R][P] = {};
-    const float* a0 = a + i * k;
-    const float* a1 = a0 + k;
-    const float* a2 = a1 + k;
-    const float* a3 = a2 + k;
+    T acc[R][P] = {};
+    const T* a0 = a + i * k;
+    const T* a1 = a0 + k;
+    const T* a2 = a1 + k;
+    const T* a3 = a2 + k;
     for (int64_t kk = 0; kk < k; ++kk) {
-      const float* brow = bp + kk * P;
-      const float v0 = a0[kk];
-      const float v1 = a1[kk];
-      const float v2 = a2[kk];
-      const float v3 = a3[kk];
+      const T* brow = bp + kk * P;
+      const T v0 = a0[kk];
+      const T v1 = a1[kk];
+      const T v2 = a2[kk];
+      const T v3 = a3[kk];
       for (int64_t j = 0; j < P; ++j) {
         acc[0][j] = ODF_FMADD(v0, brow[j], acc[0][j]);
         acc[1][j] = ODF_FMADD(v1, brow[j], acc[1][j]);
@@ -279,21 +292,199 @@ void GemmSmallPadded(const float* a, const float* bp, float* po, int64_t rows,
       }
     }
     for (int64_t r = 0; r < R; ++r) {
-      float* orow = po + (i + r) * n;
+      T* orow = po + (i + r) * n;
       for (int64_t j = 0; j < n; ++j) orow[j] = acc[r][j];
     }
   }
   for (; i < rows; ++i) {
-    float acc[P] = {};
-    const float* ar = a + i * k;
+    T acc[P] = {};
+    const T* ar = a + i * k;
     for (int64_t kk = 0; kk < k; ++kk) {
-      const float* brow = bp + kk * P;
-      const float v = ar[kk];
+      const T* brow = bp + kk * P;
+      const T v = ar[kk];
       for (int64_t j = 0; j < P; ++j) acc[j] = ODF_FMADD(v, brow[j], acc[j]);
     }
-    float* orow = po + i * n;
+    T* orow = po + i * n;
     for (int64_t j = 0; j < n; ++j) orow[j] = acc[j];
   }
+}
+
+// Zero-padded row width for the small-N layout. One full SIMD vector per
+// row: floats always pad to 16 lanes — an 8-wide float row tempts the
+// vectorizer into pairing two rows per register with cross-lane inserts,
+// which runs slower than the double kernel at the same shape — while
+// 8 doubles already fill a 512-bit vector. Padding lanes are computed but
+// never stored, so the choice is pure layout, not rounding.
+template <typename T>
+int64_t SmallNPadWidth(int64_t n) {
+  return (sizeof(T) == 4 || n > 8) ? kSmallNMax : 8;
+}
+
+// Tallest A for the no-pack panel kernel below: two micro-kernel strips.
+// Above this the blocked path's A/B packing amortizes; at or below it the
+// packing costs more than the whole multiply.
+constexpr int64_t kSmallMMax = 2 * kMR;
+
+// Row-strip kernel over one column panel of B read in place: `bp` points at
+// a k x P panel with leading dimension `ldb` (the unpacked B itself for full
+// panels, a zero-padded scratch copy for the n % kNR tail), and columns
+// [cj0, cj0+nr) of C receive the result. No per-call packing or allocation.
+// Accumulates onto C in ascending k with the pinned contraction, so per
+// live element the sum is term-for-term identical to the blocked
+// micro-kernels; lanes >= nr are computed in registers but never stored.
+template <int64_t P, typename T>
+void GemmSmallMPanel(const T* a, const T* bp, int64_t ldb, T* c, int64_t ldc,
+                     int64_t rows, int64_t k, int64_t cj0, int64_t nr) {
+  constexpr int64_t R = 4;  // row strip: R·P accumulators
+  int64_t i = 0;
+  for (; i + R <= rows; i += R) {
+    T acc[R][P] = {};
+    for (int64_t r = 0; r < R; ++r) {
+      const T* crow = c + (i + r) * ldc + cj0;
+      for (int64_t j = 0; j < nr; ++j) acc[r][j] = crow[j];
+    }
+    const T* a0 = a + i * k;
+    const T* a1 = a0 + k;
+    const T* a2 = a1 + k;
+    const T* a3 = a2 + k;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const T* brow = bp + kk * ldb;
+      const T v0 = a0[kk];
+      const T v1 = a1[kk];
+      const T v2 = a2[kk];
+      const T v3 = a3[kk];
+      for (int64_t j = 0; j < P; ++j) {
+        acc[0][j] = ODF_FMADD(v0, brow[j], acc[0][j]);
+        acc[1][j] = ODF_FMADD(v1, brow[j], acc[1][j]);
+        acc[2][j] = ODF_FMADD(v2, brow[j], acc[2][j]);
+        acc[3][j] = ODF_FMADD(v3, brow[j], acc[3][j]);
+      }
+    }
+    for (int64_t r = 0; r < R; ++r) {
+      T* crow = c + (i + r) * ldc + cj0;
+      for (int64_t j = 0; j < nr; ++j) crow[j] = acc[r][j];
+    }
+  }
+  for (; i < rows; ++i) {
+    T acc[P] = {};
+    T* crow = c + i * ldc + cj0;
+    for (int64_t j = 0; j < nr; ++j) acc[j] = crow[j];
+    const T* ar = a + i * k;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const T* brow = bp + kk * ldb;
+      const T v = ar[kk];
+      for (int64_t j = 0; j < P; ++j) acc[j] = ODF_FMADD(v, brow[j], acc[j]);
+    }
+    for (int64_t j = 0; j < nr; ++j) crow[j] = acc[j];
+  }
+}
+
+// Per-thread zero-padded scratch for the small-m tail panel (k x kNR, grown
+// on demand and reused across calls).
+template <typename T>
+T* SmallMPadScratch(int64_t k) {
+  thread_local std::vector<T> buf;
+  if (static_cast<int64_t>(buf.size()) < k * kNR) {
+    buf.resize(static_cast<size_t>(k * kNR));
+  }
+  return buf.data();
+}
+
+// True when the blocked path would waste more on packing than it gains:
+// small problems and degenerate (vector-like) operands. Skinny outputs with
+// 4 <= n <= kSmallNMax no longer count as degenerate — Gemm routes them
+// through the padded register-strip kernel instead of the scalar triple
+// loop (the beta/bucket dims of the recover stage live exactly there).
+bool UseNaiveGemm(int64_t m, int64_t k, int64_t n) {
+  return m * k * n <= kGemmNaiveFlops || m < kMR || n < 4;
+}
+
+// Shared entry: C (zero-initialized, m x n) += A (m x k) * B (k x n),
+// choosing naive / small-n padded / blocked-serial / blocked-parallel by
+// problem size.
+template <typename T>
+void Gemm(const T* pa, const T* pb, T* po, int64_t m, int64_t k,
+          int64_t n) {
+  if (UseNaiveGemm(m, k, n)) {
+    GemmNaive(pa, pb, po, m, k, n);
+    return;
+  }
+  if (n <= kSmallNMax) {
+    // Skinny output: pad B's rows to a compile-time width once, then run
+    // the register-strip kernel over parallel row chunks (rows are
+    // independent, so any partition is bit-identical). GemmSmallPadded
+    // overwrites its output rows, matching the zero-filled C contract.
+    const int64_t pw = SmallNPadWidth<T>(n);
+    auto bp = std::make_unique_for_overwrite<T[]>(static_cast<size_t>(k * pw));
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const T* src = pb + kk * n;
+      T* dst = bp.get() + kk * pw;
+      for (int64_t j = 0; j < n; ++j) dst[j] = src[j];
+      for (int64_t j = n; j < pw; ++j) dst[j] = T(0);
+    }
+    const int64_t grain = std::max<int64_t>(
+        1, kGemmNaiveFlops / std::max<int64_t>(1, k * n));
+    ParallelFor(m, grain, [&](int64_t i0, int64_t i1) {
+      if (pw == 8) {
+        GemmSmallPadded<8>(pa + i0 * k, bp.get(), po + i0 * n, i1 - i0, k, n);
+      } else {
+        GemmSmallPadded<kSmallNMax>(pa + i0 * k, bp.get(), po + i0 * n,
+                                    i1 - i0, k, n);
+      }
+    });
+    return;
+  }
+  if (m <= kSmallMMax) {
+    // Short A against a wide B: packing either operand costs more than the
+    // multiply itself. Stream B's full-width column panels in place and pad
+    // only the n % kNR tail into per-thread scratch. Panels write disjoint
+    // column ranges, so any partition across threads is bit-identical.
+    const int64_t full_tiles = n / kNR;
+    const int64_t grain = std::max<int64_t>(
+        1, kGemmNaiveFlops / std::max<int64_t>(1, m * k * kNR));
+    ParallelFor(full_tiles, grain, [&](int64_t t0, int64_t t1) {
+      for (int64_t jt = t0; jt < t1; ++jt) {
+        GemmSmallMPanel<kNR>(pa, pb + jt * kNR, n, po, n, m, k, jt * kNR,
+                             kNR);
+      }
+    });
+    const int64_t j0 = full_tiles * kNR;
+    if (j0 < n) {
+      const int64_t nr = n - j0;
+      T* pad = SmallMPadScratch<T>(k);
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const T* src = pb + kk * n + j0;
+        T* dst = pad + kk * kNR;
+        for (int64_t j = 0; j < nr; ++j) dst[j] = src[j];
+        for (int64_t j = nr; j < kNR; ++j) dst[j] = T(0);
+      }
+      GemmSmallMPanel<kNR>(pa, pad, kNR, po, n, m, k, j0, nr);
+    }
+    return;
+  }
+  // PackBTile fully writes each tile (padding included), so the pack buffer
+  // is allocated uninitialized.
+  auto bpack = std::make_unique_for_overwrite<T[]>(
+      static_cast<size_t>(NumJTiles(n) * k * kNR));
+  const int64_t pack_grain =
+      std::max<int64_t>(1, kElemGrain / std::max<int64_t>(1, k * kNR));
+  ParallelFor(NumJTiles(n), pack_grain, [&](int64_t t0, int64_t t1) {
+    for (int64_t jt = t0; jt < t1; ++jt) PackBTile(pb, k, n, jt, bpack.get());
+  });
+  const int64_t num_blocks = (m + kMC - 1) / kMC;
+  const int64_t flops_per_block = std::min(kMC, m) * k * n;
+  const int64_t grain = std::max<int64_t>(
+      1, kGemmNaiveFlops / std::max<int64_t>(1, flops_per_block));
+  ParallelFor(num_blocks, grain, [&](int64_t b0, int64_t b1) {
+    GemmRows(pa, bpack.get(), po, k, n, b0 * kMC, std::min(m, b1 * kMC),
+             ApackScratch<T>());
+  });
+}
+
+// Runs an elementwise-style kernel over [0, n) flat indices.
+template <typename Body>
+void ParallelElems(int64_t n, const Body& body) {
+  ParallelFor(n, kElemGrain, body);
 }
 
 }  // namespace
@@ -303,20 +494,25 @@ void GemmRawInto(const float* a, const float* b, float* out, int64_t m,
   Gemm(a, b, out, m, k, n);
 }
 
-PackedGemmB PackGemmWeight(const Tensor& b) {
-  ODF_CHECK_EQ(b.rank(), 2);
-  PackedGemmB packed;
-  packed.k = b.dim(0);
-  packed.n = b.dim(1);
+void GemmRawInto(const double* a, const double* b, double* out, int64_t m,
+                 int64_t k, int64_t n) {
+  Gemm(a, b, out, m, k, n);
+}
+
+template <typename T>
+PackedGemmBT<T> PackGemmWeightRaw(const T* b, int64_t k, int64_t n) {
+  PackedGemmBT<T> packed;
+  packed.k = k;
+  packed.n = n;
   if (packed.n <= kSmallNMax) {
-    // Small-N path: row-major copy, columns zero-padded to a vector-friendly
-    // power of two.
-    packed.pw = packed.n <= 8 ? 8 : kSmallNMax;
-    packed.panels.assign(static_cast<size_t>(packed.k * packed.pw), 0.0f);
+    // Small-N path: row-major copy, columns zero-padded to one full SIMD
+    // vector of the scalar width (see SmallNPadWidth).
+    packed.pw = SmallNPadWidth<T>(packed.n);
+    packed.panels.assign(static_cast<size_t>(packed.k * packed.pw), T(0));
     for (int64_t kk = 0; kk < packed.k; ++kk) {
       for (int64_t j = 0; j < packed.n; ++j) {
         packed.panels[static_cast<size_t>(kk * packed.pw + j)] =
-            b.data()[kk * packed.n + j];
+            b[kk * packed.n + j];
       }
     }
     return packed;
@@ -324,9 +520,18 @@ PackedGemmB PackGemmWeight(const Tensor& b) {
   packed.panels.resize(
       static_cast<size_t>(NumJTiles(packed.n) * packed.k * kNR));
   for (int64_t jt = 0; jt < NumJTiles(packed.n); ++jt) {
-    PackBTile(b.data(), packed.k, packed.n, jt, packed.panels.data());
+    PackBTile(b, packed.k, packed.n, jt, packed.panels.data());
   }
   return packed;
+}
+
+template PackedGemmBT<float> PackGemmWeightRaw(const float*, int64_t, int64_t);
+template PackedGemmBT<double> PackGemmWeightRaw(const double*, int64_t,
+                                                int64_t);
+
+PackedGemmB PackGemmWeight(const Tensor& b) {
+  ODF_CHECK_EQ(b.rank(), 2);
+  return PackGemmWeightRaw(b.data(), b.dim(0), b.dim(1));
 }
 
 bool PrepackedGemmViable(int64_t rows, int64_t k, int64_t n) {
@@ -335,23 +540,45 @@ bool PrepackedGemmViable(int64_t rows, int64_t k, int64_t n) {
   return rows >= kMR;
 }
 
+template <typename T>
+void MatMulPrepackedRaw(const T* a, int64_t rows, const PackedGemmBT<T>& b,
+                        T* out) {
+  if (b.pw == 8) {
+    GemmSmallPadded<8>(a, b.panels.data(), out, rows, b.k, b.n);
+    return;
+  }
+  if (b.pw == kSmallNMax) {
+    GemmSmallPadded<kSmallNMax>(a, b.panels.data(), out, rows, b.k, b.n);
+    return;
+  }
+  std::fill(out, out + rows * b.n, T(0));
+  if (rows <= kSmallMMax) {
+    // Short A: the blocked path's per-call A packing costs more than the
+    // multiply. The packed tiles are already k x kNR row-major panels, so
+    // run the no-pack panel kernel straight over them (the last tile is
+    // zero-padded by PackBTile, making full-width reads safe).
+    for (int64_t jt = 0; jt < NumJTiles(b.n); ++jt) {
+      const int64_t j0 = jt * kNR;
+      GemmSmallMPanel<kNR>(a, b.panels.data() + jt * b.k * kNR, kNR, out,
+                           b.n, rows, b.k, j0,
+                           std::min<int64_t>(kNR, b.n - j0));
+    }
+    return;
+  }
+  GemmRows(a, b.panels.data(), out, b.k, b.n, 0, rows, ApackScratch<T>());
+}
+
+template void MatMulPrepackedRaw(const float*, int64_t,
+                                 const PackedGemmBT<float>&, float*);
+template void MatMulPrepackedRaw(const double*, int64_t,
+                                 const PackedGemmBT<double>&, double*);
+
 void MatMulPrepackedInto(const Tensor& a, const PackedGemmB& b, Tensor* out) {
   ODF_CHECK_EQ(a.numel() % b.k, 0);
   const int64_t rows = a.numel() / b.k;
   ODF_CHECK(PrepackedGemmViable(rows, b.k, b.n));
   ODF_CHECK_EQ(out->numel(), rows * b.n);
-  float* po = out->data();
-  if (b.pw == 8) {
-    GemmSmallPadded<8>(a.data(), b.panels.data(), po, rows, b.k, b.n);
-    return;
-  }
-  if (b.pw == kSmallNMax) {
-    GemmSmallPadded<kSmallNMax>(a.data(), b.panels.data(), po, rows, b.k,
-                                b.n);
-    return;
-  }
-  std::fill(po, po + rows * b.n, 0.0f);
-  GemmRows(a.data(), b.panels.data(), po, b.k, b.n, 0, rows, ApackScratch());
+  MatMulPrepackedRaw(a.data(), rows, b, out->data());
 }
 
 namespace {
@@ -1014,31 +1241,37 @@ float MinValue(const Tensor& a) {
   return best;
 }
 
+template <typename T>
+void SoftmaxRowsRaw(const T* in, T* out, int64_t outer, int64_t inner) {
+  const int64_t grain =
+      std::max<int64_t>(1, kElemGrain / std::max<int64_t>(1, inner));
+  ParallelFor(outer, grain, [&](int64_t o0, int64_t o1) {
+    for (int64_t o = o0; o < o1; ++o) {
+      const T* src = in + o * inner;
+      T* dst = out + o * inner;
+      T max_v = src[0];
+      for (int64_t i = 1; i < inner; ++i) max_v = std::max(max_v, src[i]);
+      T total = 0;
+      for (int64_t i = 0; i < inner; ++i) {
+        dst[i] = FastExp(src[i] - max_v);
+        total += dst[i];
+      }
+      const T inv = T(1) / total;
+      for (int64_t i = 0; i < inner; ++i) dst[i] *= inv;
+    }
+  });
+}
+
+template void SoftmaxRowsRaw(const float*, float*, int64_t, int64_t);
+template void SoftmaxRowsRaw(const double*, double*, int64_t, int64_t);
+
 void SoftmaxLastDimInto(const Tensor& a, Tensor* out) {
   ODF_CHECK_GE(a.rank(), 1);
   const int64_t inner = a.dim(-1);
   ODF_CHECK_GT(inner, 0);
   const int64_t outer = a.numel() / inner;
   ODF_CHECK(out->shape() == a.shape());
-  const float* pa = a.data();
-  float* po = out->data();
-  const int64_t grain =
-      std::max<int64_t>(1, kElemGrain / std::max<int64_t>(1, inner));
-  ParallelFor(outer, grain, [&](int64_t o0, int64_t o1) {
-    for (int64_t o = o0; o < o1; ++o) {
-      const float* src = pa + o * inner;
-      float* dst = po + o * inner;
-      float max_v = src[0];
-      for (int64_t i = 1; i < inner; ++i) max_v = std::max(max_v, src[i]);
-      float total = 0;
-      for (int64_t i = 0; i < inner; ++i) {
-        dst[i] = FastExp(src[i] - max_v);
-        total += dst[i];
-      }
-      const float inv = 1.0f / total;
-      for (int64_t i = 0; i < inner; ++i) dst[i] *= inv;
-    }
-  });
+  SoftmaxRowsRaw(a.data(), out->data(), outer, inner);
 }
 
 Tensor SoftmaxLastDim(const Tensor& a) {
@@ -1087,42 +1320,99 @@ void FusedRecoverInto(const Tensor& r, const Tensor& c, float temperature,
   ODF_CHECK_EQ(c.dim(3), k);
   ODF_CHECK(out->shape() == Shape({b, n, m, k}));
   ODF_CHECK_GT(k, 0);
-  const float* pr = r.data();
-  const float* pc = c.data();
-  float* po = out->data();
-  const int64_t cells = b * n * m;
+  FusedRecoverRaw(r.data(), c.data(), temperature, out->data(), b, n, m,
+                  beta, k);
+}
+
+namespace {
+
+// Per-thread scratch for FusedRecoverRaw's flattened exp pass.
+template <typename T>
+T* RecoverMaxScratch(int64_t len) {
+  thread_local std::vector<T> buf;
+  if (static_cast<int64_t>(buf.size()) < len) {
+    buf.resize(static_cast<size_t>(len));
+  }
+  return buf.data();
+}
+
+}  // namespace
+
+template <typename T>
+void FusedRecoverRaw(const T* r, const T* c, T temperature, T* out,
+                     int64_t b, int64_t n, int64_t m, int64_t beta,
+                     int64_t k) {
+  // Histogram depth k is small (single digits in the paper's setups), so
+  // per-cell k-loops are too short for the vectorizer. Instead, each
+  // (batch, origin) row owns an m·k contiguous slice of both `out` and the
+  // destination factor `c`, so every pass below runs flat over that slice:
+  // pass 1 tiles the k-vector r[b,o,bb,:] across the row and accumulates
+  // with one contiguous FMA loop per beta term, pass 3 is one flat exp,
+  // and pass 4 batches the per-cell reciprocals into a single vectorizable
+  // divide loop. Every per-element operation (ascending-beta accumulate,
+  // temperature scale, max-subtract, FastExp, ascending-k total, inverse
+  // scale) keeps the same operands in the same order as the per-cell form,
+  // so results are bit-identical to the unfused reference.
+  const int64_t rows = b * n;
+  const int64_t row_len = m * k;
   const int64_t grain =
-      std::max<int64_t>(1, kElemGrain / std::max<int64_t>(1, beta * k));
-  ParallelFor(cells, grain, [&](int64_t c0, int64_t c1) {
-    for (int64_t cell = c0; cell < c1; ++cell) {
-      const int64_t bi = cell / (n * m);
-      const int64_t o = (cell / m) % n;
-      const int64_t d = cell % m;
-      float* dst = po + cell * k;
-      const float* rrow = pr + (bi * n + o) * beta * k;
-      const float* crow = pc + (bi * beta * m + d) * k;
-      // scores_k = temperature * sum_beta r[b,o,beta,k] * c[b,beta,d,k];
-      // ascending beta keeps the rounding order fixed.
-      for (int64_t kk = 0; kk < k; ++kk) dst[kk] = 0.0f;
+      std::max<int64_t>(1, kElemGrain / std::max<int64_t>(1, row_len * beta));
+  ParallelFor(rows, grain, [&](int64_t r0, int64_t r1) {
+    // Scratch: [0, row_len) tiled r-vector, [row_len, 2·row_len) per-element
+    // subtrahend / inverse, [2·row_len, 2·row_len + m) per-cell totals.
+    T* scratch = RecoverMaxScratch<T>(2 * row_len + m);
+    T* tile = scratch;
+    T* sub = scratch + row_len;
+    T* tot = scratch + 2 * row_len;
+    for (int64_t row = r0; row < r1; ++row) {
+      const int64_t bi = row / n;
+      T* dst = out + row * row_len;
+      // Pass 1: scores = temperature * sum_beta r[b,o,bb,:] ⊙ c[b,bb,d,:].
+      for (int64_t j = 0; j < row_len; ++j) dst[j] = T(0);
       for (int64_t bb = 0; bb < beta; ++bb) {
-        const float* rv = rrow + bb * k;
-        const float* cv = crow + bb * m * k;
-        for (int64_t kk = 0; kk < k; ++kk) dst[kk] += rv[kk] * cv[kk];
+        const T* rv = r + (row * beta + bb) * k;
+        for (int64_t d = 0; d < m; ++d) {
+          std::memcpy(tile + d * k, rv, static_cast<size_t>(k) * sizeof(T));
+        }
+        const T* cv = c + (bi * beta + bb) * row_len;
+        for (int64_t j = 0; j < row_len; ++j) dst[j] += tile[j] * cv[j];
       }
-      for (int64_t kk = 0; kk < k; ++kk) dst[kk] *= temperature;
-      // Softmax over k, structured exactly like SoftmaxLastDim.
-      float max_v = dst[0];
-      for (int64_t kk = 1; kk < k; ++kk) max_v = std::max(max_v, dst[kk]);
-      float total = 0;
-      for (int64_t kk = 0; kk < k; ++kk) {
-        dst[kk] = FastExp(dst[kk] - max_v);
-        total += dst[kk];
+      for (int64_t j = 0; j < row_len; ++j) dst[j] *= temperature;
+      // Pass 2: per-cell max, broadcast into the flat subtrahend array.
+      for (int64_t cell = 0; cell < m; ++cell) {
+        const T* sc = dst + cell * k;
+        T max_v = sc[0];
+        for (int64_t kk = 1; kk < k; ++kk) max_v = std::max(max_v, sc[kk]);
+        T* s = sub + cell * k;
+        for (int64_t kk = 0; kk < k; ++kk) s[kk] = max_v;
       }
-      const float inv = 1.0f / total;
-      for (int64_t kk = 0; kk < k; ++kk) dst[kk] *= inv;
+      // Pass 3: the flat vectorizable exp.
+      for (int64_t j = 0; j < row_len; ++j) {
+        dst[j] = FastExp(dst[j] - sub[j]);
+      }
+      // Pass 4: ascending-k totals, one batched divide loop (IEEE division
+      // is exact per lane, so batching it does not change any bit), then a
+      // flat scale against the tiled inverses.
+      for (int64_t cell = 0; cell < m; ++cell) {
+        const T* sc = dst + cell * k;
+        T total = 0;
+        for (int64_t kk = 0; kk < k; ++kk) total += sc[kk];
+        tot[cell] = total;
+      }
+      for (int64_t cell = 0; cell < m; ++cell) tot[cell] = T(1) / tot[cell];
+      for (int64_t cell = 0; cell < m; ++cell) {
+        T* s = sub + cell * k;
+        for (int64_t kk = 0; kk < k; ++kk) s[kk] = tot[cell];
+      }
+      for (int64_t j = 0; j < row_len; ++j) dst[j] *= sub[j];
     }
   });
 }
+
+template void FusedRecoverRaw(const float*, const float*, float, float*,
+                              int64_t, int64_t, int64_t, int64_t, int64_t);
+template void FusedRecoverRaw(const double*, const double*, double, double*,
+                              int64_t, int64_t, int64_t, int64_t, int64_t);
 
 Tensor FusedRecover(const Tensor& r, const Tensor& c, float temperature) {
   ODF_CHECK_EQ(r.rank(), 4);

@@ -39,6 +39,19 @@ namespace odf {
 //   ODF_SERVE_CACHE=0              disable the current-interval forecast
 //                    cache (on by default); every ForecastCurrent then
 //                    runs the plan.
+//   ODF_SERVE_PRECISION=fp32|fp64  arithmetic width the service serves at
+//                    (default fp32 — the bit-identical substrate width).
+//                    fp64 activates the widened reference plan as soon as
+//                    one is registered via ForecastService::AddPlan. The
+//                    interval cache is keyed on (interval, precision), so
+//                    flipping this mid-run never serves a stale
+//                    other-precision histogram (docs/serving.md
+//                    "Precision").
+//   ODF_SERVE_PRECISION_CHECK=1    run every batch through BOTH registered
+//                    plans and gate on the per-query KL/JS/EMD deltas
+//                    (serve/service.h kPrecision*Tolerance); rejected
+//                    batches are served from the fp64 plan. Doubles the
+//                    serving cost — a validation mode, off by default.
 //
 // Stress-scenario harness knobs (docs/scenarios.md), read by
 // `production_pipeline --scenarios [--smoke]`:
