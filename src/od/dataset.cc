@@ -8,14 +8,51 @@ ForecastDataset::ForecastDataset(const OdTensorSeries* series,
                                  int64_t history, int64_t horizon)
     : series_(series), history_(history), horizon_(horizon) {
   ODF_CHECK(series != nullptr);
-  ODF_CHECK_GT(history, 0);
-  ODF_CHECK_GT(horizon, 0);
-  ODF_CHECK_GE(series->NumIntervals(), history + horizon)
+  InitDims();
+}
+
+ForecastDataset::ForecastDataset(const OdSource* source, int64_t history,
+                                 int64_t horizon)
+    : source_(source), history_(history), horizon_(horizon) {
+  ODF_CHECK(source != nullptr);
+  InitDims();
+}
+
+void ForecastDataset::InitDims() {
+  ODF_CHECK_GT(history_, 0);
+  ODF_CHECK_GT(horizon_, 0);
+  ODF_CHECK_GE(SourceNumIntervals(), history_ + horizon_)
       << "series too short for the requested window";
+  const std::shared_ptr<const OdTensor> proto = SourceInterval(0);
+  num_origins_ = proto->num_origins();
+  num_destinations_ = proto->num_destinations();
+  num_buckets_ = proto->num_buckets();
+}
+
+int64_t ForecastDataset::SourceNumIntervals() const {
+  return series_ != nullptr ? series_->NumIntervals()
+                            : source_->NumIntervals();
+}
+
+std::shared_ptr<const OdTensor> ForecastDataset::SourceInterval(
+    int64_t t) const {
+  if (series_ != nullptr) {
+    // Aliasing pointer: the series owns the tensor and outlives us.
+    return std::shared_ptr<const OdTensor>(std::shared_ptr<const OdTensor>(),
+                                           &series_->at(t));
+  }
+  return source_->Interval(t);
+}
+
+const OdTensorSeries& ForecastDataset::series() const {
+  ODF_CHECK(series_ != nullptr)
+      << "series() on a streaming-backed ForecastDataset; whole-series "
+         "access requires the in-memory constructor (has_series())";
+  return *series_;
 }
 
 int64_t ForecastDataset::NumSamples() const {
-  return series_->NumIntervals() - history_ - horizon_ + 1;
+  return SourceNumIntervals() - history_ - horizon_ + 1;
 }
 
 int64_t ForecastDataset::AnchorInterval(int64_t i) const {
@@ -51,10 +88,9 @@ ForecastDataset::Split ForecastDataset::ChronologicalSplit(
 Batch ForecastDataset::MakeBatch(
     std::span<const int64_t> sample_indices) const {
   ODF_CHECK(!sample_indices.empty());
-  const OdTensor& proto = series_->at(0);
-  const int64_t n = proto.num_origins();
-  const int64_t m = proto.num_destinations();
-  const int64_t k = proto.num_buckets();
+  const int64_t n = num_origins_;
+  const int64_t m = num_destinations_;
+  const int64_t k = num_buckets_;
   const int64_t batch = static_cast<int64_t>(sample_indices.size());
   const int64_t cell = n * m * k;
 
@@ -69,8 +105,11 @@ Batch ForecastDataset::MakeBatch(
     for (int64_t b = 0; b < batch; ++b) {
       const int64_t t = out.anchor_intervals[static_cast<size_t>(b)] +
                         offset_from_anchor;
-      const OdTensor& tensor = series_->at(t);
-      const Tensor source = masks ? tensor.ExpandedMask() : tensor.values();
+      // The shared_ptr keeps the tensor alive across the copy even if a
+      // streaming source evicts it from its cache concurrently.
+      const std::shared_ptr<const OdTensor> tensor = SourceInterval(t);
+      const Tensor source =
+          masks ? tensor->ExpandedMask() : tensor->values();
       std::copy(source.data(), source.data() + cell,
                 stacked.data() + b * cell);
     }

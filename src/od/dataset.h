@@ -1,9 +1,11 @@
 #ifndef ODF_OD_DATASET_H_
 #define ODF_OD_DATASET_H_
 
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "od/od_source.h"
 #include "od/od_tensor.h"
 #include "util/rng.h"
 
@@ -30,14 +32,28 @@ struct Batch {
 /// Sliding-window forecasting dataset over an OD tensor series
 /// (paper problem statement: s historical tensors -> h future tensors).
 ///
-/// The series must outlive the dataset.
+/// Two backing modes share one batching path:
+///  - in-memory: constructed from an `OdTensorSeries*` — every interval is
+///    materialized (paper-scale grids; also what the classical baselines
+///    need, see `series()`);
+///  - streaming: constructed from an `OdSource*` (e.g. od/stream_source.h
+///    over an on-disk trip log) — intervals are built on demand and peak
+///    memory is bounded by the source's cache, not the dataset length.
+///
+/// The series or source must outlive the dataset. Batches are byte-identical
+/// across the two modes for the same underlying intervals.
 class ForecastDataset {
  public:
   ForecastDataset(const OdTensorSeries* series, int64_t history,
                   int64_t horizon);
+  ForecastDataset(const OdSource* source, int64_t history, int64_t horizon);
 
   int64_t history() const { return history_; }
   int64_t horizon() const { return horizon_; }
+
+  int64_t num_origins() const { return num_origins_; }
+  int64_t num_destinations() const { return num_destinations_; }
+  int64_t num_buckets() const { return num_buckets_; }
 
   /// Number of valid windows.
   int64_t NumSamples() const;
@@ -71,12 +87,28 @@ class ForecastDataset {
       const std::vector<int64_t>& samples, int64_t batch_size,
       Rng& rng) const;
 
-  const OdTensorSeries& series() const { return *series_; }
+  /// True when the dataset is backed by a materialized series (`series()` is
+  /// callable). Streaming datasets return false.
+  bool has_series() const { return series_ != nullptr; }
+
+  /// The materialized series. Only the classical baselines (GP, VAR, the
+  /// naive histogram) and offline analysis need whole-series access; they
+  /// run at paper scale, where materializing is fine. Aborts on a
+  /// streaming-backed dataset — check `has_series()` first.
+  const OdTensorSeries& series() const;
 
  private:
-  const OdTensorSeries* series_;
+  int64_t SourceNumIntervals() const;
+  std::shared_ptr<const OdTensor> SourceInterval(int64_t t) const;
+  void InitDims();
+
+  const OdTensorSeries* series_ = nullptr;  // in-memory mode
+  const OdSource* source_ = nullptr;        // streaming mode
   int64_t history_;
   int64_t horizon_;
+  int64_t num_origins_ = 0;
+  int64_t num_destinations_ = 0;
+  int64_t num_buckets_ = 0;
 };
 
 }  // namespace odf

@@ -1,0 +1,183 @@
+#ifndef ODF_OD_TRIP_LOG_H_
+#define ODF_OD_TRIP_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "od/trip.h"
+
+namespace odf {
+
+// Indexed binary trip log (docs/sharding.md "Streaming trip log").
+//
+// The CSV path (od/trip_io.h) parses every row up front into one in-memory
+// vector — fine for paper-scale grids, a RAM ceiling for production-scale
+// ones. The ODTL container stores trips grouped by time interval behind an
+// interval directory, so a reader can pull one interval's records without
+// touching the rest of the file. Layout (little-endian):
+//
+//   u32  magic   "ODTL" (0x4C54444F)
+//   u32  version (1)
+//   u64  header_payload_size               — bytes of the payload below
+//   payload:
+//     u32  interval_minutes                — must divide 24h
+//     u32  num_days
+//     u64  num_intervals                   — must equal the TimePartition's
+//     u64  num_trips
+//     i64  num_regions                     — exclusive region-id bound
+//     num_intervals × directory entry:
+//       u64  byte offset of the interval's records in the trip section
+//       u64  record count
+//       u32  CRC-32 of the interval's record bytes
+//   u32  header_crc                        — CRC-32 of the payload bytes
+//   trip section: num_trips × 32-byte records
+//     i32 origin | i32 destination | i64 departure_s |
+//     f64 distance_m | f64 duration_s
+//
+// Records are densely packed in interval order (entry i's offset is the
+// running sum of earlier counts × 32), which Open() verifies, so a forged
+// directory cannot alias records between intervals or point outside the
+// file. All validation is typed — hostile or truncated bytes are rejected
+// with a TripLogStatus, never an abort — mirroring the checkpoint
+// container's hostile-input contract (docs/checkpoint_format.md).
+
+/// Typed outcome of opening or reading a trip log. Like nn::LoadStatus,
+/// failures never abort and never half-apply: a reader whose Open() failed
+/// stays closed, and ReadInterval leaves `*out` empty on failure.
+enum class TripLogStatus {
+  kOk = 0,
+  /// File missing, unreadable, or unmappable.
+  kIoError,
+  /// The file does not start with the ODTL magic.
+  kBadMagic,
+  /// Magic matched but the format version is unsupported.
+  kBadVersion,
+  /// The file is shorter than its own headers/directory claim.
+  kTruncated,
+  /// Structural damage: CRC mismatch, inconsistent directory (forged
+  /// counts/offsets), or implausible header fields.
+  kCorrupt,
+  /// An individual record failed validation (region id out of range, or a
+  /// departure time outside its directory interval).
+  kBadRecord,
+};
+
+/// Human-readable name of a TripLogStatus (for logs and error messages).
+const char* TripLogStatusName(TripLogStatus status);
+
+/// Interval-indexed trip access: the seam between trip storage (in-memory
+/// vector or on-disk log) and the streaming OD-tensor builders
+/// (od/stream_source.h, shard/sharded_model.h). Implementations are
+/// thread-safe and deterministic.
+class TripSource {
+ public:
+  virtual ~TripSource() = default;
+
+  virtual int64_t NumIntervals() const = 0;
+
+  /// Replaces `*out` with interval `t`'s trips, in stored order.
+  virtual void IntervalTrips(int64_t t, std::vector<Trip>* out) const = 0;
+};
+
+/// TripSource over an in-memory trip vector: buckets trips by interval once
+/// at construction (indices only — records are not copied). The vector must
+/// outlive the source.
+class VectorTripSource final : public TripSource {
+ public:
+  VectorTripSource(const std::vector<Trip>* trips,
+                   const TimePartition& partition);
+
+  int64_t NumIntervals() const override;
+  void IntervalTrips(int64_t t, std::vector<Trip>* out) const override;
+
+ private:
+  const std::vector<Trip>* trips_;
+  std::vector<std::vector<int64_t>> index_;  // per interval, trip indices
+};
+
+/// Writes `trips` as an ODTL container. Trips may arrive in any order; they
+/// are grouped by `partition.IntervalOf(departure_s)` (stable within an
+/// interval). Every trip must satisfy 0 <= origin,destination < num_regions
+/// and bucket into [0, partition.NumIntervals()). The write is atomic
+/// (tmp + fsync + rename): a crash leaves the old file or the new one,
+/// never a torn mixture. Returns false on I/O failure.
+bool WriteTripLog(const std::vector<Trip>& trips,
+                  const TimePartition& partition, int64_t num_regions,
+                  const std::string& path);
+
+/// Streaming reader over an ODTL file.
+///
+/// Open() maps the file read-only (mmap, with a buffered-read fallback) and
+/// validates the header, its CRC, and the full directory structure before
+/// returning kOk; per-interval record bytes are CRC-checked on every
+/// ReadInterval, so bit flips anywhere in the file surface as typed errors
+/// at the interval that covers them. VerifyPayload() sweeps every interval
+/// once (validate-then-serve: callers that cannot tolerate mid-run typed
+/// errors run it after Open).
+///
+/// The reader holds no per-interval state and is safe to share across
+/// threads once Open() returned kOk.
+class TripLogReader final : public TripSource {
+ public:
+  TripLogReader() = default;
+  ~TripLogReader() override;
+
+  TripLogReader(const TripLogReader&) = delete;
+  TripLogReader& operator=(const TripLogReader&) = delete;
+
+  /// Maps and validates `path`. Any failure leaves the reader closed (and
+  /// reusable for another Open).
+  TripLogStatus Open(const std::string& path);
+
+  bool is_open() const { return data_ != nullptr; }
+
+  int64_t num_intervals() const { return num_intervals_; }
+  int64_t num_trips() const { return num_trips_; }
+  int64_t num_regions() const { return num_regions_; }
+  /// Trip-section payload bytes (excluding header + directory).
+  int64_t payload_bytes() const { return num_trips_ * kRecordBytes; }
+  TimePartition time_partition() const {
+    return TimePartition(interval_minutes_, num_days_);
+  }
+
+  /// Replaces `*out` with interval `t`'s trips after CRC-checking and
+  /// validating its records. On failure `*out` is left empty.
+  TripLogStatus ReadInterval(int64_t t, std::vector<Trip>* out) const;
+
+  /// CRC-checks and record-validates every interval without retaining any
+  /// of them; memory use stays bounded by the largest single interval.
+  TripLogStatus VerifyPayload() const;
+
+  // TripSource: requires a successful Open() + VerifyPayload() (aborts on a
+  // read error, which after a full verify can only mean I/O loss under us).
+  int64_t NumIntervals() const override { return num_intervals_; }
+  void IntervalTrips(int64_t t, std::vector<Trip>* out) const override;
+
+  static constexpr int64_t kRecordBytes = 32;
+
+ private:
+  struct DirEntry {
+    uint64_t offset = 0;
+    uint64_t count = 0;
+    uint32_t crc = 0;
+  };
+
+  void Close();
+
+  const uint8_t* data_ = nullptr;  // full file mapping (or heap fallback)
+  size_t size_ = 0;
+  bool mapped_ = false;                // data_ from mmap (else heap_)
+  std::vector<uint8_t> heap_;          // fallback storage
+  size_t trip_base_ = 0;               // offset of the trip section
+  std::vector<DirEntry> directory_;
+  int interval_minutes_ = 0;
+  int num_days_ = 0;
+  int64_t num_intervals_ = 0;
+  int64_t num_trips_ = 0;
+  int64_t num_regions_ = 0;
+};
+
+}  // namespace odf
+
+#endif  // ODF_OD_TRIP_LOG_H_

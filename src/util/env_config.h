@@ -53,6 +53,17 @@ namespace odf {
 //                    batches are served from the fp64 plan. Doubles the
 //                    serving cost — a validation mode, off by default.
 //
+// Sharded scale-out knobs (src/shard/, docs/sharding.md):
+//   ODF_SHARDS=<n>   default shard count a ShardedModelConfig starts from
+//                    when the caller doesn't set one (default 4; always
+//                    clamped to [1, num_regions] at partition time).
+//   ODF_STREAM_CACHE=<n>  per-source LRU capacity, in intervals, of the
+//                    streaming OD-tensor cache (od/stream_source.h) when
+//                    the owner doesn't pass an explicit capacity
+//                    (default 16, minimum 1). Bounds the peak memory of a
+//                    streamed dataset: each TripOdSource holds at most
+//                    this many [N, N', K] tensors at once.
+//
 // Stress-scenario harness knobs (docs/scenarios.md), read by
 // `production_pipeline --scenarios [--smoke]`:
 //   ODF_SCENARIO_SEED=<n>    master seed for the sweep — trip generation,

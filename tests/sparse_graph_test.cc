@@ -350,6 +350,94 @@ TEST(GraphOperatorTest, PathSelectionPolicy) {
   ::unsetenv("ODF_SPARSE_GRAPH");
 }
 
+// -- Raw serving kernels under gradcheck -----------------------------------
+//
+// The precision-lowered serving plan replays training math through raw
+// width-parameterized kernels (GemmRawInto, FusedRecoverRaw, and
+// ChebyshevBasisWideRaw, whose sparse branch drives SpmmTiledRaw). Each
+// gradcheck objective below recomputes the raw kernel at every finite-
+// difference evaluation point and asserts it is bit-identical to the tape
+// forward, so the raw paths are pinned to the differentiated ops across a
+// whole neighborhood of inputs, not just one sample.
+
+TEST(RawKernelGradCheckTest, GemmRawBitIdenticalToTapeMatMul) {
+  Rng rng(31);
+  const int64_t m = 4, k = 3, n = 5;
+  std::vector<ag::Var> inputs = {
+      ag::Var(Tensor::RandomNormal(Shape({m, k}), rng), /*requires_grad=*/true),
+      ag::Var(Tensor::RandomNormal(Shape({k, n}), rng),
+              /*requires_grad=*/true)};
+  auto fn = [&](const std::vector<ag::Var>& in) {
+    ag::Var y = ag::MatMul(in[0], in[1]);
+    Tensor raw(Shape({m, n}));  // zero-filled, as GemmRawInto requires
+    GemmRawInto(in[0].value().data(), in[1].value().data(), raw.data(), m, k,
+                n);
+    EXPECT_TRUE(BitIdentical(raw, y.value()));
+    return ag::SumAll(ag::Square(y));
+  };
+  auto result = ag::GradCheck(fn, inputs, /*eps=*/1e-3, /*tol=*/2e-2);
+  EXPECT_TRUE(result.ok) << "element " << result.worst_element << " err "
+                         << result.max_abs_error;
+}
+
+TEST(RawKernelGradCheckTest, FusedRecoverRawBitIdenticalToTapeFusedRecover) {
+  Rng rng(32);
+  const int64_t b = 2, n = 3, m = 4, beta = 2, k = 3;
+  Tensor temp(Shape({1}));
+  temp[0] = 0.7f;
+  std::vector<ag::Var> inputs = {
+      ag::Var(Tensor::RandomNormal(Shape({b, n, beta, k}), rng),
+              /*requires_grad=*/true),
+      ag::Var(Tensor::RandomNormal(Shape({b, beta, m, k}), rng),
+              /*requires_grad=*/true),
+      ag::Var(temp, /*requires_grad=*/true)};
+  auto fn = [&](const std::vector<ag::Var>& in) {
+    ag::Var y = ag::FusedRecover(in[0], in[1], in[2]);
+    Tensor raw(Shape({b, n, m, k}));
+    FusedRecoverRaw<float>(in[0].value().data(), in[1].value().data(),
+                           in[2].value()[0], raw.data(), b, n, m, beta, k);
+    EXPECT_TRUE(BitIdentical(raw, y.value()));
+    return ag::SumAll(ag::Square(y));
+  };
+  auto result = ag::GradCheck(fn, inputs, /*eps=*/1e-3, /*tol=*/2e-2);
+  EXPECT_TRUE(result.ok) << "element " << result.worst_element << " err "
+                         << result.max_abs_error;
+}
+
+// The dense branch pins the wide basis to the blocked-GEMM path; the sparse
+// branch (force_sparse=1) drives the serial tiled SpMM (SpmmTiledRaw).
+TEST(RawKernelGradCheckTest, ChebyshevBasisWideRawBitIdenticalToTapeBasis) {
+  Rng rng(33);
+  const int64_t n = 5, f = 2, batch = 2, order = 3;
+  Tensor lap =
+      ScaledLaplacian(Laplacian(RandomThresholdedWeights(n, 0.4, rng)));
+  for (const int force : {0, 1}) {
+    auto op = GraphOperator::Make(lap, force);
+    std::vector<ag::Var> inputs = {
+        ag::Var(Tensor::RandomNormal(Shape({batch, n, f}), rng),
+                /*requires_grad=*/true)};
+    auto fn = [&](const std::vector<ag::Var>& in) {
+      ag::Var y = ag::ChebyshevBasis(op, in[0], order);
+      Tensor raw(Shape({batch, n, order * f}));
+      Tensor w0(Shape({batch * n * f}));
+      Tensor w1(Shape({batch * n * f}));
+      Tensor w2(Shape({batch * n * f}));
+      const CsrMatrix& csr = op->csr();
+      ChebyshevBasisWideRaw<float>(
+          op->use_sparse() ? nullptr : op->dense().data(),
+          csr.row_ptr().data(), csr.col_idx().data(), csr.values().data(),
+          csr.nnz(), n, in[0].value().data(), batch, f, order, raw.data(),
+          w0.data(), w1.data(), w2.data());
+      EXPECT_TRUE(BitIdentical(raw, y.value()));
+      return ag::SumAll(ag::Square(y));
+    };
+    auto result = ag::GradCheck(fn, inputs, /*eps=*/1e-3, /*tol=*/2e-2);
+    EXPECT_TRUE(result.ok) << "force_sparse=" << force << " element "
+                           << result.worst_element << " err "
+                           << result.max_abs_error;
+  }
+}
+
 TEST(GraphOperatorTest, FactoryBuildsScaledLaplacian) {
   Rng rng(21);
   Tensor w = RandomThresholdedWeights(13, 0.3, rng);
