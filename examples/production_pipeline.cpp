@@ -77,7 +77,7 @@ int RunScenarioHarness(bool smoke) {
   config.train.batch_size = 16;
   config.train.patience = 4;
   config.models = SplitCsv(odf::GetEnvString(
-      "ODF_SCENARIO_MODELS", smoke ? "AF,NH" : "AF,BF,NH,VAR"));
+      "ODF_SCENARIO_MODELS", smoke ? "AF,NH" : "AF,AFD,BF,NH,VAR"));
 
   // Stress only the test period: clean-trained models meet the incidents
   // at evaluation time, never during training.

@@ -45,19 +45,27 @@ AdvancedFramework::AdvancedFramework(const RegionGraph& origin_graph,
   if (config_.use_gcgru) {
     // Forecasting stage: CNRNN over the graph matching the factor's node
     // dimension (origin graph for R, destination graph for C; Sec. V-B).
-    // One GraphOperator per graph (dense + CSR L̂) is shared by every
-    // encoder/decoder cell and the output head of that branch. The memoized
-    // factory also returns the identical instance across model rebuilds
-    // (e.g. constructing a serving copy before loading a checkpoint), so
-    // the power iteration runs once per distinct graph per process.
-    const auto origin_op = MakeScaledLaplacianOperator(w_origin);
-    const auto destination_op = MakeScaledLaplacianOperator(w_destination);
+    // The tap stack comes from one GraphBasis per graph, shared by every
+    // encoder/decoder cell and the output head of that branch; the operator
+    // family is config_.graph_op. For the Chebyshev family the memoized
+    // operator factory also returns the identical instance across model
+    // rebuilds (e.g. constructing a serving copy before loading a
+    // checkpoint), so the power iteration runs once per distinct graph per
+    // process.
+    gcgru_w_origin_ = w_origin;
+    gcgru_w_destination_ = w_destination;
+    // Basis construction order (r before its cells, then c) pins the RNG
+    // stream: adaptive embeddings draw origin-side first.
+    auto r_basis =
+        MakeGcGruBasis(w_origin, config_.origin_demand_correlation);
     r_seq_gc_ = std::make_unique<nn::Seq2SeqGcGru>(
-        origin_op, factor_features, config_.gcgru_hidden, config_.cheb_order,
-        init_rng_, config_.gcgru_layers);
+        std::move(r_basis), factor_features, config_.gcgru_hidden, init_rng_,
+        config_.gcgru_layers);
+    auto c_basis =
+        MakeGcGruBasis(w_destination, config_.destination_demand_correlation);
     c_seq_gc_ = std::make_unique<nn::Seq2SeqGcGru>(
-        destination_op, factor_features, config_.gcgru_hidden,
-        config_.cheb_order, init_rng_, config_.gcgru_layers);
+        std::move(c_basis), factor_features, config_.gcgru_hidden, init_rng_,
+        config_.gcgru_layers);
     RegisterSubmodule(r_seq_gc_.get());
     RegisterSubmodule(c_seq_gc_.get());
   } else {
@@ -68,6 +76,59 @@ AdvancedFramework::AdvancedFramework(const RegionGraph& origin_graph,
     RegisterSubmodule(r_seq_fc_.get());
     RegisterSubmodule(c_seq_fc_.get());
   }
+}
+
+std::shared_ptr<nn::GraphBasis> AdvancedFramework::MakeGcGruBasis(
+    const Tensor& w, const Tensor& correlation) {
+  switch (config_.graph_op) {
+    case nn::GraphOpKind::kChebyshev: {
+      std::shared_ptr<const GraphOperator> corr_op;
+      if (correlation.numel() > 0) {
+        corr_op = MakeScaledLaplacianOperator(correlation);
+      }
+      return nn::GraphBasis::Chebyshev(MakeScaledLaplacianOperator(w),
+                                       config_.cheb_order,
+                                       std::move(corr_op));
+    }
+    case nn::GraphOpKind::kDiffusion: {
+      auto [fwd, bwd] = MakeDiffusionOperators(w);
+      return nn::GraphBasis::Diffusion(std::move(fwd), std::move(bwd),
+                                       config_.cheb_order);
+    }
+    case nn::GraphOpKind::kAdaptive:
+      return nn::GraphBasis::Adaptive(w.dim(0), config_.adaptive_embed_dim,
+                                      config_.cheb_order, init_rng_);
+  }
+  ODF_CHECK(false) << "unreachable graph_op";
+  return nullptr;
+}
+
+void AdvancedFramework::SetGcGruGraphs(const Tensor& w_origin,
+                                       const Tensor& w_destination) {
+  ODF_CHECK(config_.use_gcgru)
+      << "dynamic graphs need the GCGRU forecasting stage";
+  switch (config_.graph_op) {
+    case nn::GraphOpKind::kChebyshev:
+      r_seq_gc_->basis()->SetOperators(MakeScaledLaplacianOperator(w_origin));
+      c_seq_gc_->basis()->SetOperators(
+          MakeScaledLaplacianOperator(w_destination));
+      break;
+    case nn::GraphOpKind::kDiffusion: {
+      auto [r_fwd, r_bwd] = MakeDiffusionOperators(w_origin);
+      r_seq_gc_->basis()->SetOperators(std::move(r_fwd), std::move(r_bwd));
+      auto [c_fwd, c_bwd] = MakeDiffusionOperators(w_destination);
+      c_seq_gc_->basis()->SetOperators(std::move(c_fwd), std::move(c_bwd));
+      break;
+    }
+    case nn::GraphOpKind::kAdaptive:
+      ODF_CHECK(false)
+          << "adaptive adjacency is learned, not derived from a proximity "
+             "matrix; there is nothing to rebuild per interval";
+  }
+}
+
+void AdvancedFramework::ResetGcGruGraphs() {
+  SetGcGruGraphs(gcgru_w_origin_, gcgru_w_destination_);
 }
 
 AdvancedFramework::FactorBranch AdvancedFramework::BuildBranch(

@@ -37,6 +37,26 @@ struct AdvancedFrameworkConfig {
   /// Average vs max pooling in Eq. 6.
   nn::PoolKind pool_kind = nn::PoolKind::kAverage;
 
+  /// Graph operator family of the forecasting-stage convolutions
+  /// (nn/graph_basis.h): the paper's Chebyshev basis, DCRNN-style
+  /// dual-direction diffusion, or ODCRN-style learned adaptive adjacency.
+  /// Defaults from ODF_GRAPH_OP (cheb|diffusion|adaptive).
+  nn::GraphOpKind graph_op = nn::GraphOpKindFromEnv();
+  /// Embedding width of the adaptive adjacency (kAdaptive only).
+  int64_t adaptive_embed_dim = 8;
+  /// Optional demand-correlation graphs (graph/laplacian.h
+  /// DemandCorrelationGraph) joined to the Chebyshev basis as a second
+  /// static component (kChebyshev only). Empty tensors disable them. Set by
+  /// callers once training data exists — the model is constructed before
+  /// any trips are seen.
+  Tensor origin_demand_correlation;       // n×n
+  Tensor destination_demand_correlation;  // n'×n'
+  /// Marks the model as the dynamic-graph variant ("AFD"): the scenario
+  /// harness rebuilds its forecasting-stage operators per interval from
+  /// Scenario::ProximityMatrixAt via SetGcGruGraphs. Construction and
+  /// training are identical to the static AF with the same seed.
+  bool dynamic_graph = false;
+
   // Ablation switches (all true = the paper's AF).
   /// GCNN factorization stage (false → BF-style FC factorization).
   bool use_graph_factorization = true;
@@ -64,7 +84,9 @@ class AdvancedFramework : public NeuralForecaster {
                     int64_t num_buckets, int64_t horizon,
                     const AdvancedFrameworkConfig& config);
 
-  std::string name() const override { return "AF"; }
+  std::string name() const override {
+    return config_.dynamic_graph ? "AFD" : "AF";
+  }
   std::string Describe() const override;
 
   autograd::Var Loss(const Batch& batch, bool train, Rng& rng) override;
@@ -72,6 +94,21 @@ class AdvancedFramework : public NeuralForecaster {
 
   /// Factorization rank β implied by the pooling hierarchy.
   int64_t rank() const { return rank_; }
+
+  const AdvancedFrameworkConfig& config() const { return config_; }
+
+  /// Swaps the forecasting-stage (GCGRU) graph operators for freshly built
+  /// ones over per-interval proximity matrices — the dynamic-graph path fed
+  /// by Scenario::ProximityMatrixAt. Builds a fresh operator snapshot per
+  /// call (graph/laplacian.h immutability contract); for Chebyshev the
+  /// memoized factory deduplicates recurring matrices (a closure that lifts
+  /// cache-hits the clean graph's operator). The factorization branches
+  /// keep their static coarsened pyramids. Requires use_gcgru and a
+  /// non-adaptive graph_op; weights are untouched.
+  void SetGcGruGraphs(const Tensor& w_origin, const Tensor& w_destination);
+
+  /// Restores the clean construction-time graphs after a dynamic sweep.
+  void ResetGcGruGraphs();
 
  private:
   friend class odf::serve::PlanCompiler;
@@ -104,8 +141,15 @@ class AdvancedFramework : public NeuralForecaster {
   AdvancedFrameworkConfig config_;
   Rng init_rng_;
 
+  /// Builds the forecasting-stage tap stack for proximity matrix `w` per
+  /// config_.graph_op (`correlation` joins a Chebyshev basis when set).
+  std::shared_ptr<nn::GraphBasis> MakeGcGruBasis(const Tensor& w,
+                                                 const Tensor& correlation);
+
   Tensor origin_laplacian_;       // L (unscaled, Dirichlet norm)
   Tensor destination_laplacian_;  // L'
+  Tensor gcgru_w_origin_;         // clean proximity matrices for
+  Tensor gcgru_w_destination_;    // ResetGcGruGraphs (use_gcgru only)
 
   FactorBranch r_branch_;  // convolves over the destination graph
   FactorBranch c_branch_;  // convolves over the origin graph

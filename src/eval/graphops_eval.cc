@@ -1,0 +1,254 @@
+#include "eval/graphops_eval.h"
+
+#include <cmath>
+#include <cstdarg>
+#include <fstream>
+#include <memory>
+
+#include "core/advanced_framework.h"
+#include "graph/laplacian.h"
+#include "util/metrics.h"
+#include "util/table.h"
+
+namespace odf::eval {
+
+namespace {
+
+void AppendF(std::string* out, const char* format, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void AppendF(std::string* out, const char* format, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof buf, format, args);
+  va_end(args);
+  *out += buf;
+}
+
+GraphOpScore MakeScore(const std::string& mode, const std::string& setting,
+                       const MetricAccumulator& accumulator) {
+  GraphOpScore score;
+  score.mode = mode;
+  score.setting = setting;
+  score.pairs = accumulator.count();
+  for (int k = 0; k < kNumMetrics; ++k) {
+    score.values[k] = accumulator.Mean(static_cast<Metric>(k));
+    ODF_CHECK(std::isfinite(score.values[k]))
+        << mode << "/" << setting << " "
+        << MetricName(static_cast<Metric>(k)) << " is not finite";
+  }
+  return score;
+}
+
+/// One AF per mode name, identical seed across modes so the operator family
+/// is the only variable. "cheb_corr" needs the training-period correlation
+/// graphs, computed by the caller.
+std::unique_ptr<AdvancedFramework> MakeModeModel(
+    const std::string& mode, const DatasetSpec& spec, int64_t num_buckets,
+    const GraphOpsEvalConfig& config, const Tensor& origin_correlation,
+    const Tensor& destination_correlation) {
+  AdvancedFrameworkConfig model_config;
+  model_config.seed = config.train.seed + 13;  // matches MakeForecasterByName
+  if (mode == "cheb") {
+    model_config.graph_op = nn::GraphOpKind::kChebyshev;
+  } else if (mode == "cheb_corr") {
+    model_config.graph_op = nn::GraphOpKind::kChebyshev;
+    model_config.origin_demand_correlation = origin_correlation;
+    model_config.destination_demand_correlation = destination_correlation;
+  } else if (mode == "diffusion") {
+    model_config.graph_op = nn::GraphOpKind::kDiffusion;
+  } else if (mode == "adaptive") {
+    model_config.graph_op = nn::GraphOpKind::kAdaptive;
+  } else {
+    ODF_CHECK(false) << "unknown graph-op mode '" << mode
+                     << "' (want cheb|cheb_corr|diffusion|adaptive)";
+  }
+  return std::make_unique<AdvancedFramework>(spec.graph, spec.graph,
+                                             num_buckets, config.horizon,
+                                             model_config);
+}
+
+}  // namespace
+
+GraphOpsEvalResult RunGraphOpsSweep(const DatasetSpec& spec,
+                                    const Scenario& scenario,
+                                    const GraphOpsEvalConfig& config) {
+  ODF_CHECK(!config.modes.empty());
+  const SpeedHistogramSpec histogram = SpeedHistogramSpec::Paper();
+
+  TripGenerator generator(spec.graph, spec.config);
+  const TimePartition time_partition = generator.time_partition();
+  OdTensorSeries clean_series = BuildOdTensorSeries(
+      generator.Generate(), time_partition, spec.graph.size(),
+      spec.graph.size(), histogram);
+  ForecastDataset clean_dataset(&clean_series, config.history,
+                                config.horizon);
+  const ForecastDataset::Split split = clean_dataset.ChronologicalSplit(
+      config.train_fraction, config.validation_fraction);
+  ODF_CHECK(!split.train.empty());
+  ODF_CHECK(!split.test.empty());
+
+  // Demand-correlation graphs from the *training* period only — the third
+  // static graph input never sees validation or test demand.
+  const int64_t train_end = clean_dataset.AnchorInterval(split.train.back());
+  std::vector<Tensor> train_counts;
+  train_counts.reserve(static_cast<size_t>(train_end + 1));
+  for (int64_t t = 0; t <= train_end; ++t) {
+    train_counts.push_back(clean_series.at(t).counts());
+  }
+  const Tensor origin_correlation = DemandCorrelationGraph(
+      train_counts, /*origin_side=*/true, config.correlation_threshold);
+  const Tensor destination_correlation = DemandCorrelationGraph(
+      train_counts, /*origin_side=*/false, config.correlation_threshold);
+
+  GraphOpsEvalResult result;
+  result.dataset_name = spec.name;
+  result.regions = spec.graph.size();
+  result.seed = spec.config.seed;
+  result.history = config.history;
+  result.horizon = config.horizon;
+  result.test_windows = static_cast<int64_t>(split.test.size());
+  result.modes = config.modes;
+  result.dynamic_scenario = scenario.name();
+
+  AdvancedFramework* cheb_model = nullptr;
+  std::vector<std::unique_ptr<AdvancedFramework>> models;
+  models.reserve(config.modes.size());
+  for (const std::string& mode : config.modes) {
+    std::unique_ptr<AdvancedFramework> model =
+        MakeModeModel(mode, spec, histogram.num_buckets(), config,
+                      origin_correlation, destination_correlation);
+    {
+      ScopedTimer timer(
+          MetricsRegistry::Global().GetHistogram("graphops.train_seconds"));
+      model->Fit(clean_dataset, split, config.train);
+    }
+    MetricAccumulator accumulator;
+    {
+      ScopedTimer timer(
+          MetricsRegistry::Global().GetHistogram("graphops.eval_seconds"));
+      accumulator = ScoreForecaster(*model, clean_dataset, clean_series,
+                                    split.test, config.eval_batch_size);
+    }
+    result.clean.push_back(MakeScore(mode, "clean", accumulator));
+    if (mode == "cheb") cheb_model = model.get();
+    models.push_back(std::move(model));
+  }
+  ODF_CHECK(cheb_model != nullptr)
+      << "the static-vs-dynamic comparison needs mode 'cheb'";
+
+  // The same trained weights meet the incident twice: once with the clean
+  // construction-time graphs, once with per-interval operators rebuilt from
+  // the scenario's closures (ROADMAP item 3's dynamic-graph path).
+  ScenarioWorld world = BuildScenarioWorld(spec, scenario, histogram);
+  ODF_CHECK_EQ(world.truth.NumIntervals(), clean_series.NumIntervals());
+  ForecastDataset observed_dataset(&world.observed, config.history,
+                                   config.horizon);
+  result.scenario_scores.push_back(MakeScore(
+      "cheb", "static",
+      ScoreForecaster(*cheb_model, observed_dataset, world.truth, split.test,
+                      config.eval_batch_size)));
+  DynamicGraphContext dynamic;
+  dynamic.graph = &spec.graph;
+  dynamic.scenario = &scenario;
+  dynamic.proximity = cheb_model->config().proximity;
+  result.scenario_scores.push_back(MakeScore(
+      "cheb", "dynamic",
+      ScoreForecaster(*cheb_model, observed_dataset, world.truth, split.test,
+                      config.eval_batch_size, &dynamic)));
+  return result;
+}
+
+std::string GraphOpsBenchJson(const GraphOpsEvalResult& result) {
+  std::string out;
+  out.reserve(4096);
+  out += "{\n";
+  AppendF(&out, "  \"bench\": \"graph_operators\",\n");
+  AppendF(&out, "  \"dataset\": \"%s\",\n", result.dataset_name.c_str());
+  AppendF(&out, "  \"regions\": %lld,\n",
+          static_cast<long long>(result.regions));
+  AppendF(&out, "  \"seed\": %llu,\n",
+          static_cast<unsigned long long>(result.seed));
+  AppendF(&out, "  \"history\": %lld,\n",
+          static_cast<long long>(result.history));
+  AppendF(&out, "  \"horizon\": %lld,\n",
+          static_cast<long long>(result.horizon));
+  AppendF(&out, "  \"test_windows\": %lld,\n",
+          static_cast<long long>(result.test_windows));
+  out += "  \"modes\": [";
+  for (size_t m = 0; m < result.modes.size(); ++m) {
+    AppendF(&out, "%s\"%s\"", m == 0 ? "" : ", ", result.modes[m].c_str());
+  }
+  out += "],\n";
+  const auto append_scores = [&](const std::vector<GraphOpScore>& scores) {
+    for (size_t i = 0; i < scores.size(); ++i) {
+      const GraphOpScore& score = scores[i];
+      for (int k = 0; k < kNumMetrics; ++k) {
+        ODF_CHECK(std::isfinite(score.values[k]));
+      }
+      AppendF(&out,
+              "    {\"mode\": \"%s\", \"setting\": \"%s\", \"kl\": %.9f, "
+              "\"js\": %.9f, \"emd\": %.9f, \"pairs\": %lld}%s\n",
+              score.mode.c_str(), score.setting.c_str(), score.values[0],
+              score.values[1], score.values[2],
+              static_cast<long long>(score.pairs),
+              i + 1 == scores.size() ? "" : ",");
+    }
+  };
+  out += "  \"clean\": [\n";
+  append_scores(result.clean);
+  out += "  ],\n";
+  AppendF(&out, "  \"dynamic_scenario\": \"%s\",\n",
+          result.dynamic_scenario.c_str());
+  out += "  \"scenario\": [\n";
+  append_scores(result.scenario_scores);
+  out += "  ]\n}\n";
+  return out;
+}
+
+bool WriteGraphOpsBenchJson(const GraphOpsEvalResult& result,
+                            const std::string& path) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return false;
+  const std::string json = GraphOpsBenchJson(result);
+  file.write(json.data(), static_cast<std::streamsize>(json.size()));
+  return static_cast<bool>(file.flush());
+}
+
+void PrintGraphOpsReport(const GraphOpsEvalResult& result, std::FILE* out) {
+  std::fprintf(out,
+               "graph operators — %s, %lld regions, seed %llu, "
+               "%lld test windows (history %lld, horizon %lld)\n",
+               result.dataset_name.c_str(),
+               static_cast<long long>(result.regions),
+               static_cast<unsigned long long>(result.seed),
+               static_cast<long long>(result.test_windows),
+               static_cast<long long>(result.history),
+               static_cast<long long>(result.horizon));
+  const auto print_scores = [&](const std::vector<GraphOpScore>& scores,
+                                const char* label_header) {
+    std::vector<std::string> headers{label_header};
+    for (int k = 0; k < kNumMetrics; ++k) {
+      headers.push_back(MetricName(static_cast<Metric>(k)));
+    }
+    headers.push_back("pairs");
+    Table table(std::move(headers));
+    for (const GraphOpScore& score : scores) {
+      std::vector<std::string> row{score.mode + "/" + score.setting};
+      for (int k = 0; k < kNumMetrics; ++k) {
+        row.push_back(Table::Num(score.values[k]));
+      }
+      row.push_back(std::to_string(score.pairs));
+      table.AddRow(std::move(row));
+    }
+    table.Print(out);
+  };
+  std::fprintf(out, "\nclean test windows (lower is better)\n");
+  print_scores(result.clean, "mode");
+  std::fprintf(out, "\nscenario '%s': static vs per-interval graphs\n",
+               result.dynamic_scenario.c_str());
+  print_scores(result.scenario_scores, "mode/graphs");
+}
+
+}  // namespace odf::eval

@@ -18,40 +18,6 @@ namespace odf::eval {
 
 namespace {
 
-/// Scores `model` over the test windows of a scenario: inputs are batched
-/// from the degraded `observed` dataset, targets are the scenario's ground
-/// `truth` tensors. All horizon steps accumulate into one value (the
-/// harness reports robustness per scenario, not per step).
-MetricAccumulator ScoreOnScenario(Forecaster& model,
-                                  const ForecastDataset& observed,
-                                  const OdTensorSeries& truth,
-                                  const std::vector<int64_t>& samples,
-                                  int64_t batch_size) {
-  ODF_CHECK_GT(batch_size, 0);
-  MetricAccumulator accumulator;
-  for (size_t start = 0; start < samples.size();
-       start += static_cast<size_t>(batch_size)) {
-    const size_t end =
-        std::min(samples.size(), start + static_cast<size_t>(batch_size));
-    const std::vector<int64_t> indices(
-        samples.begin() + static_cast<int64_t>(start),
-        samples.begin() + static_cast<int64_t>(end));
-    Batch batch = observed.MakeBatch(indices);
-    const std::vector<Tensor> predictions = model.Predict(batch);
-    ODF_CHECK_EQ(static_cast<int64_t>(predictions.size()),
-                 observed.horizon());
-    for (size_t b = 0; b < indices.size(); ++b) {
-      const int64_t anchor = batch.anchor_intervals[b];
-      for (int64_t j = 0; j < observed.horizon(); ++j) {
-        const Tensor prediction = SamplePrediction(
-            predictions[static_cast<size_t>(j)], static_cast<int64_t>(b));
-        AccumulateForecast(prediction, truth.at(anchor + 1 + j), accumulator);
-      }
-    }
-  }
-  return accumulator;
-}
-
 void AppendF(std::string* out, const char* format, ...)
     __attribute__((format(printf, 2, 3)));
 
@@ -65,6 +31,58 @@ void AppendF(std::string* out, const char* format, ...) {
 }
 
 }  // namespace
+
+MetricAccumulator ScoreForecaster(Forecaster& model,
+                                  const ForecastDataset& observed,
+                                  const OdTensorSeries& truth,
+                                  const std::vector<int64_t>& samples,
+                                  int64_t batch_size,
+                                  const DynamicGraphContext* dynamic) {
+  ODF_CHECK_GT(batch_size, 0);
+  MetricAccumulator accumulator;
+  AdvancedFramework* dynamic_model = nullptr;
+  if (dynamic != nullptr) {
+    ODF_CHECK(dynamic->graph != nullptr);
+    ODF_CHECK(dynamic->scenario != nullptr);
+    dynamic_model = dynamic_cast<AdvancedFramework*>(&model);
+    ODF_CHECK(dynamic_model != nullptr)
+        << "dynamic-graph scoring needs an AdvancedFramework, got "
+        << model.name();
+    // One window at a time: each window gets the graph of its own anchor
+    // interval, so windows cannot share a batched forward pass.
+    batch_size = 1;
+  }
+  for (size_t start = 0; start < samples.size();
+       start += static_cast<size_t>(batch_size)) {
+    const size_t end =
+        std::min(samples.size(), start + static_cast<size_t>(batch_size));
+    const std::vector<int64_t> indices(
+        samples.begin() + static_cast<int64_t>(start),
+        samples.begin() + static_cast<int64_t>(end));
+    Batch batch = observed.MakeBatch(indices);
+    if (dynamic_model != nullptr) {
+      // A fresh operator snapshot per interval (never mutated in place);
+      // recurring matrices — most intervals outside the incident — hit the
+      // memoized Chebyshev factory instead of re-deriving L̂.
+      const Tensor w = dynamic->scenario->ProximityMatrixAt(
+          *dynamic->graph, dynamic->proximity, batch.anchor_intervals[0]);
+      dynamic_model->SetGcGruGraphs(w, w);
+    }
+    const std::vector<Tensor> predictions = model.Predict(batch);
+    ODF_CHECK_EQ(static_cast<int64_t>(predictions.size()),
+                 observed.horizon());
+    for (size_t b = 0; b < indices.size(); ++b) {
+      const int64_t anchor = batch.anchor_intervals[b];
+      for (int64_t j = 0; j < observed.horizon(); ++j) {
+        const Tensor prediction = SamplePrediction(
+            predictions[static_cast<size_t>(j)], static_cast<int64_t>(b));
+        AccumulateForecast(prediction, truth.at(anchor + 1 + j), accumulator);
+      }
+    }
+  }
+  if (dynamic_model != nullptr) dynamic_model->ResetGcGruGraphs();
+  return accumulator;
+}
 
 std::unique_ptr<Forecaster> MakeForecasterByName(
     const std::string& name, const RegionGraph& graph, int64_t num_buckets,
@@ -91,14 +109,16 @@ std::unique_ptr<Forecaster> MakeForecasterByName(
     return std::make_unique<BasicFramework>(n, n, num_buckets, horizon,
                                             config);
   }
-  if (name == "AF") {
+  if (name == "AF" || name == "AFD") {
     AdvancedFrameworkConfig config;
-    config.seed = seed + 13;
+    config.seed = seed + 13;  // AFD shares AF's seed: same weights, the
+                              // only difference is scoring-time graphs
+    config.dynamic_graph = name == "AFD";
     return std::make_unique<AdvancedFramework>(graph, graph, num_buckets,
                                                horizon, config);
   }
   ODF_CHECK(false) << "unknown model " << name
-                   << " (expected AF, BF, NH, GP, VAR, FC/RNN or MR)";
+                   << " (expected AF, AFD, BF, NH, GP, VAR, FC/RNN or MR)";
   return nullptr;
 }
 
@@ -151,13 +171,25 @@ ScenarioEvalResult RunScenarioSweep(const DatasetSpec& spec,
     ForecastDataset observed_dataset(&world.observed, config.history,
                                      config.horizon);
     for (size_t m = 0; m < models.size(); ++m) {
+      // The dynamic-graph AF scores with per-interval operators rebuilt
+      // from this scenario's closures; everything else sees static graphs.
+      DynamicGraphContext dynamic_context;
+      const DynamicGraphContext* dynamic = nullptr;
+      if (const auto* af =
+              dynamic_cast<const AdvancedFramework*>(models[m].get());
+          af != nullptr && af->config().dynamic_graph) {
+        dynamic_context.graph = &spec.graph;
+        dynamic_context.scenario = &scenario;
+        dynamic_context.proximity = af->config().proximity;
+        dynamic = &dynamic_context;
+      }
       MetricAccumulator accumulator;
       {
         ScopedTimer timer(
             MetricsRegistry::Global().GetHistogram("scenario.eval_seconds"));
         accumulator =
-            ScoreOnScenario(*models[m], observed_dataset, world.truth,
-                            split.test, config.eval_batch_size);
+            ScoreForecaster(*models[m], observed_dataset, world.truth,
+                            split.test, config.eval_batch_size, dynamic);
       }
       if (MetricsEnabled()) {
         MetricsRegistry::Global().GetCounter("scenario.evaluations").Add();

@@ -55,9 +55,37 @@ struct ScenarioEvalResult {
 
 /// Builds a forecaster by its table name (same names as the paper tables).
 /// `time_partition` is only consulted by MR (its time-of-day task split).
+/// "AFD" is the dynamic-graph AF: identical construction, seed and training
+/// to "AF", but the harness rebuilds its forecasting-stage operators per
+/// scored window from Scenario::ProximityMatrixAt.
 std::unique_ptr<Forecaster> MakeForecasterByName(
     const std::string& name, const RegionGraph& graph, int64_t num_buckets,
     int64_t horizon, const TimePartition& time_partition, uint64_t seed);
+
+/// Time-varying-graph wiring for ScoreForecaster: the harness asks
+/// `scenario` for the proximity matrix of `graph` at each scored window's
+/// anchor interval and swaps it into the model before predicting. Only
+/// meaningful for an AdvancedFramework with a non-adaptive graph_op.
+struct DynamicGraphContext {
+  const RegionGraph* graph = nullptr;
+  const Scenario* scenario = nullptr;
+  ProximityParams proximity{1.0, 2.0};
+};
+
+/// Scores `model` over `samples` windows of `observed`, judging against the
+/// ground-truth series `truth` (mean KL/JS/EMD per observed pair across all
+/// horizon steps). With `dynamic` set, windows are scored one at a time:
+/// before each prediction the model's GCGRU operators are rebuilt from the
+/// scenario's proximity matrix at that window's anchor interval (a fresh
+/// immutable operator snapshot per interval — graph/laplacian.h contract),
+/// and the clean graphs are restored afterwards. Deterministic at every
+/// thread count either way.
+MetricAccumulator ScoreForecaster(Forecaster& model,
+                                  const ForecastDataset& observed,
+                                  const OdTensorSeries& truth,
+                                  const std::vector<int64_t>& samples,
+                                  int64_t batch_size,
+                                  const DynamicGraphContext* dynamic = nullptr);
 
 /// The robustness harness (ROADMAP item 4): trains every configured model
 /// once on the *clean* dataset, then for each scenario rebuilds the world

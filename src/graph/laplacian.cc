@@ -10,6 +10,7 @@
 #include "tensor/linalg.h"
 #include "tensor/tensor_ops.h"
 #include "util/env_config.h"
+#include "util/logging.h"
 
 namespace odf {
 
@@ -45,6 +46,7 @@ std::deque<OperatorCacheEntry>& OperatorCache() {
 
 std::atomic<uint64_t> g_operator_cache_hits{0};
 std::atomic<uint64_t> g_operator_cache_misses{0};
+std::atomic<uint64_t> g_degenerate_lambda_fallbacks{0};
 
 bool SameContents(const Tensor& a, const Tensor& b) {
   if (a.shape() != b.shape()) return false;
@@ -114,11 +116,123 @@ Tensor ScaledLaplacian(const Tensor& laplacian, float lambda_max) {
   const int64_t n = laplacian.dim(0);
   ODF_CHECK_EQ(n, laplacian.dim(1));
   if (lambda_max <= 0.0f) lambda_max = LaplacianMaxEigenvalue(laplacian);
-  // Degenerate graph (no edges): L = 0, use L̂ = -I per the formula's limit.
-  if (lambda_max <= 1e-12f) lambda_max = 2.0f;
+  // Degenerate graph (no edges, or a power iteration that collapsed to 0):
+  // dividing by λ_max would be a division by zero. Fall back to λ_max = 2 —
+  // L̂ = L − I, which is −I for the zero Laplacian, the formula's limit —
+  // and say so: a silent fallback here once hid an all-isolated closure
+  // scenario producing constant forecasts.
+  if (lambda_max <= 1e-12f) {
+    g_degenerate_lambda_fallbacks.fetch_add(1, std::memory_order_relaxed);
+    ODF_LOG(Warning) << "ScaledLaplacian: degenerate lambda_max ("
+                     << lambda_max << ") for " << n << "x" << n
+                     << " Laplacian; falling back to lambda_max=2 (L_hat=L-I)";
+    lambda_max = 2.0f;
+  }
   Tensor scaled = MulScalar(laplacian, 2.0f / lambda_max);
   for (int64_t i = 0; i < n; ++i) scaled.At2(i, i) -= 1.0f;
   return scaled;
+}
+
+uint64_t ScaledLaplacianDegenerateFallbacks() {
+  return g_degenerate_lambda_fallbacks.load(std::memory_order_relaxed);
+}
+
+Tensor RandomWalkTransition(const Tensor& w) {
+  ODF_CHECK_EQ(w.rank(), 2);
+  const int64_t n = w.dim(0);
+  ODF_CHECK_EQ(n, w.dim(1));
+  Tensor p(Shape({n, n}));
+  for (int64_t i = 0; i < n; ++i) {
+    double degree = 0;
+    for (int64_t j = 0; j < n; ++j) degree += w.At2(i, j);
+    if (degree > 0) {
+      const double inv = 1.0 / degree;
+      for (int64_t j = 0; j < n; ++j) {
+        p.At2(i, j) = static_cast<float>(w.At2(i, j) * inv);
+      }
+    } else {
+      // Isolated region (e.g. fully blockaded by a closure scenario): no
+      // diffusion in or out. A 1/degree here is the NaN this guard exists
+      // to prevent.
+      for (int64_t j = 0; j < n; ++j) p.At2(i, j) = 0.0f;
+    }
+  }
+  return p;
+}
+
+std::pair<std::shared_ptr<const GraphOperator>,
+          std::shared_ptr<const GraphOperator>>
+MakeDiffusionOperators(const Tensor& w) {
+  return {GraphOperator::Make(RandomWalkTransition(w)),
+          GraphOperator::Make(RandomWalkTransition(Transpose2D(w)))};
+}
+
+Tensor DemandCorrelationGraph(const std::vector<Tensor>& interval_counts,
+                              bool origin_side, double threshold) {
+  ODF_CHECK(!interval_counts.empty());
+  const Tensor& first = interval_counts.front();
+  ODF_CHECK_EQ(first.rank(), 2);
+  const int64_t n = origin_side ? first.dim(0) : first.dim(1);
+  const int64_t t_count = static_cast<int64_t>(interval_counts.size());
+  // Per-region demand profile across intervals: row sums (outbound) for the
+  // origin-side graph, column sums (inbound) for the destination side.
+  std::vector<double> profile(static_cast<size_t>(n * t_count), 0.0);
+  for (int64_t t = 0; t < t_count; ++t) {
+    const Tensor& counts = interval_counts[static_cast<size_t>(t)];
+    ODF_CHECK_EQ(counts.rank(), 2);
+    ODF_CHECK_EQ(counts.dim(0), first.dim(0));
+    ODF_CHECK_EQ(counts.dim(1), first.dim(1));
+    for (int64_t i = 0; i < counts.dim(0); ++i) {
+      for (int64_t j = 0; j < counts.dim(1); ++j) {
+        const int64_t region = origin_side ? i : j;
+        profile[static_cast<size_t>(region * t_count + t)] +=
+            counts.At2(i, j);
+      }
+    }
+  }
+  std::vector<double> mean(static_cast<size_t>(n), 0.0);
+  std::vector<double> sd(static_cast<size_t>(n), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    double sum = 0;
+    for (int64_t t = 0; t < t_count; ++t) {
+      sum += profile[static_cast<size_t>(i * t_count + t)];
+    }
+    mean[static_cast<size_t>(i)] = sum / static_cast<double>(t_count);
+    double var = 0;
+    for (int64_t t = 0; t < t_count; ++t) {
+      const double d = profile[static_cast<size_t>(i * t_count + t)] -
+                       mean[static_cast<size_t>(i)];
+      var += d * d;
+    }
+    sd[static_cast<size_t>(i)] = std::sqrt(var);
+  }
+  Tensor corr(Shape({n, n}));
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) corr.At2(i, j) = 0.0f;
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    // Constant-demand regions (zero variance) have no correlation signal;
+    // they stay zero rows — the isolated-node case the Laplacian guards
+    // handle.
+    if (sd[static_cast<size_t>(i)] == 0.0) continue;
+    for (int64_t j = i + 1; j < n; ++j) {
+      if (sd[static_cast<size_t>(j)] == 0.0) continue;
+      double cov = 0;
+      for (int64_t t = 0; t < t_count; ++t) {
+        cov += (profile[static_cast<size_t>(i * t_count + t)] -
+                mean[static_cast<size_t>(i)]) *
+               (profile[static_cast<size_t>(j * t_count + t)] -
+                mean[static_cast<size_t>(j)]);
+      }
+      const double r =
+          cov / (sd[static_cast<size_t>(i)] * sd[static_cast<size_t>(j)]);
+      if (r > threshold) {
+        corr.At2(i, j) = static_cast<float>(r);
+        corr.At2(j, i) = static_cast<float>(r);
+      }
+    }
+  }
+  return corr;
 }
 
 std::shared_ptr<const GraphOperator> MakeScaledLaplacianOperator(

@@ -39,18 +39,22 @@ ChebConv::ChebConv(Tensor scaled_laplacian, int64_t in_features,
 ChebConv::ChebConv(std::shared_ptr<const GraphOperator> op,
                    int64_t in_features, int64_t out_features, int64_t order,
                    Rng& rng, bool with_bias)
+    : ChebConv(GraphBasis::Chebyshev(std::move(op), order), in_features,
+               out_features, rng, with_bias) {}
+
+ChebConv::ChebConv(std::shared_ptr<const GraphBasis> basis,
+                   int64_t in_features, int64_t out_features, Rng& rng,
+                   bool with_bias)
     : in_features_(in_features),
       out_features_(out_features),
-      order_(order),
       with_bias_(with_bias),
-      op_(std::move(op)),
+      basis_(std::move(basis)),
       theta_(RegisterParameter(Tensor::GlorotUniform(
-          Shape({order * in_features, out_features}), rng))),
+          Shape({basis_->taps() * in_features, out_features}), rng))),
       bias_(with_bias
                 ? RegisterParameter(Tensor(Shape({out_features})))
                 : ag::Var::Constant(Tensor(Shape({out_features})))) {
-  ODF_CHECK_GT(order, 0);
-  ODF_CHECK(op_ != nullptr);
+  ODF_CHECK(basis_ != nullptr);
 }
 
 ag::Var ChebConv::Forward(const ag::Var& x) const {
@@ -61,7 +65,7 @@ ag::Var ChebConv::Forward(const ag::Var& x) const {
   ODF_CHECK_EQ(input.dim(1), num_nodes());
   ODF_CHECK_EQ(input.dim(2), in_features_);
 
-  ag::Var stacked = ChebyshevStack(op_, input, order_);
+  ag::Var stacked = basis_->Stack(input);
   ag::Var out = ag::BatchMatMul(stacked, theta_);
   if (with_bias_) out = ag::Add(out, bias_);
   if (squeeze) out = ag::Reshape(out, {num_nodes(), out_features_});

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "autograd/ops.h"
+#include "nn/graph_basis.h"
 #include "nn/module.h"
 #include "util/rng.h"
 
@@ -47,25 +48,36 @@ class ChebConv : public Module {
            int64_t out_features, int64_t order, Rng& rng,
            bool with_bias = true);
 
+  /// Generalized form: the tap stack comes from `basis` (Chebyshev,
+  /// diffusion, or adaptive — nn/graph_basis.h), whose parameters (if any)
+  /// belong to the basis's owner, not this layer. Θ is
+  /// [basis->taps()·F_in, F_out], which for a plain Chebyshev basis is the
+  /// legacy [order·F_in, F_out] drawn from the same RNG stream.
+  ChebConv(std::shared_ptr<const GraphBasis> basis, int64_t in_features,
+           int64_t out_features, Rng& rng, bool with_bias = true);
+
   /// Applies the convolution to [B, n, F_in]; returns [B, n, F_out].
   /// Rank-2 input [n, F_in] is treated as batch 1 and returned rank-2.
   autograd::Var Forward(const autograd::Var& x) const;
 
-  int64_t num_nodes() const { return op_->nodes(); }
+  int64_t num_nodes() const { return basis_->nodes(); }
   int64_t in_features() const { return in_features_; }
   int64_t out_features() const { return out_features_; }
-  int64_t order() const { return order_; }
-  const std::shared_ptr<const GraphOperator>& graph_op() const { return op_; }
+  int64_t order() const { return basis_->order(); }
+  const std::shared_ptr<const GraphBasis>& basis() const { return basis_; }
+  /// The primary operator (L̂ / forward diffusion); null for adaptive.
+  const std::shared_ptr<const GraphOperator>& graph_op() const {
+    return basis_->primary_op();
+  }
 
  private:
   friend class odf::serve::PlanCompiler;
 
   int64_t in_features_;
   int64_t out_features_;
-  int64_t order_;
   bool with_bias_;
-  std::shared_ptr<const GraphOperator> op_;  // constant L̂
-  autograd::Var theta_;                      // [order * F_in, F_out]
+  std::shared_ptr<const GraphBasis> basis_;  // tap stack (graph snapshot)
+  autograd::Var theta_;                      // [taps * F_in, F_out]
   autograd::Var bias_;                       // [F_out]
 };
 

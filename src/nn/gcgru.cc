@@ -34,15 +34,21 @@ GcGruCell::GcGruCell(Tensor scaled_laplacian, int64_t input_features,
 GcGruCell::GcGruCell(std::shared_ptr<const GraphOperator> op,
                      int64_t input_features, int64_t hidden_features,
                      int64_t order, Rng& rng)
+    : GcGruCell(GraphBasis::Chebyshev(std::move(op), order), input_features,
+                hidden_features, rng) {}
+
+GcGruCell::GcGruCell(std::shared_ptr<const GraphBasis> basis,
+                     int64_t input_features, int64_t hidden_features,
+                     Rng& rng)
     : input_features_(input_features),
       hidden_features_(hidden_features),
-      order_(order),
-      op_(std::move(op)),
+      basis_(std::move(basis)),
       gates_theta_(RegisterParameter(StackedGateInit(
-          order, input_features + hidden_features, hidden_features, rng))),
+          basis_->taps(), input_features + hidden_features, hidden_features,
+          rng))),
       gates_bias_(RegisterParameter(Tensor(Shape({2 * hidden_features})))),
-      candidate_conv_(op_, input_features + hidden_features, hidden_features,
-                      order, rng) {
+      candidate_conv_(basis_, input_features + hidden_features,
+                      hidden_features, rng) {
   RegisterSubmodule(&candidate_conv_);
 }
 
@@ -61,9 +67,9 @@ ag::Var GcGruCell::Step(const ag::Var& x, const ag::Var& h) const {
   ODF_CHECK_EQ(x.dim(2), input_features_);
   ODF_CHECK_EQ(h.dim(2), hidden_features_);
   const ag::Var hx = ag::Concat({h, x}, 2);
-  // One Chebyshev basis over [h, x] feeds both gates through the stacked
-  // weight matrix; Slice splits the [B, n, 2H] pre-activations.
-  const ag::Var taps = ChebyshevStack(op_, hx, order_);
+  // One tap stack over [h, x] feeds both gates through the stacked weight
+  // matrix; Slice splits the [B, n, 2H] pre-activations.
+  const ag::Var taps = basis_->Stack(hx);
   const ag::Var gates =
       ag::Add(ag::BatchMatMul(taps, gates_theta_), gates_bias_);
   const ag::Var reset =
@@ -89,20 +95,31 @@ Seq2SeqGcGru::Seq2SeqGcGru(Tensor scaled_laplacian, int64_t feature_size,
 
 Seq2SeqGcGru::Seq2SeqGcGru(std::shared_ptr<const GraphOperator> op,
                            int64_t feature_size, int64_t hidden_size,
-                           int64_t order, Rng& rng, int64_t num_layers) {
+                           int64_t order, Rng& rng, int64_t num_layers)
+    : Seq2SeqGcGru(GraphBasis::Chebyshev(std::move(op), order), feature_size,
+                   hidden_size, rng, num_layers) {}
+
+Seq2SeqGcGru::Seq2SeqGcGru(std::shared_ptr<GraphBasis> basis,
+                           int64_t feature_size, int64_t hidden_size,
+                           Rng& rng, int64_t num_layers)
+    : basis_(std::move(basis)) {
   ODF_CHECK_GE(num_layers, 1);
+  // The basis registers first so adaptive embeddings lead the checkpoint
+  // PARM order; a parameter-free basis (Chebyshev/diffusion) contributes
+  // nothing and keeps the legacy order byte-for-byte.
+  RegisterSubmodule(basis_.get());
   for (int64_t l = 0; l < num_layers; ++l) {
     encoder_layers_.push_back(std::make_unique<GcGruCell>(
-        op, l == 0 ? feature_size : hidden_size, hidden_size, order, rng));
+        basis_, l == 0 ? feature_size : hidden_size, hidden_size, rng));
     RegisterSubmodule(encoder_layers_.back().get());
   }
   for (int64_t l = 0; l < num_layers; ++l) {
     decoder_layers_.push_back(std::make_unique<GcGruCell>(
-        op, l == 0 ? feature_size : hidden_size, hidden_size, order, rng));
+        basis_, l == 0 ? feature_size : hidden_size, hidden_size, rng));
     RegisterSubmodule(decoder_layers_.back().get());
   }
-  output_head_ = std::make_unique<ChebConv>(std::move(op), hidden_size,
-                                            feature_size, order, rng);
+  output_head_ =
+      std::make_unique<ChebConv>(basis_, hidden_size, feature_size, rng);
   RegisterSubmodule(output_head_.get());
 }
 

@@ -35,25 +35,35 @@ class GcGruCell : public Module {
   GcGruCell(std::shared_ptr<const GraphOperator> op, int64_t input_features,
             int64_t hidden_features, int64_t order, Rng& rng);
 
+  /// Generalized form: gate transforms expand over `basis` (Chebyshev,
+  /// diffusion, or adaptive — nn/graph_basis.h). The basis's own parameters
+  /// (adaptive embeddings) are registered by whoever owns the basis, not by
+  /// each cell sharing it.
+  GcGruCell(std::shared_ptr<const GraphBasis> basis, int64_t input_features,
+            int64_t hidden_features, Rng& rng);
+
   /// One step: x [B, n, F_in], h [B, n, F_hidden] -> [B, n, F_hidden].
   autograd::Var Step(const autograd::Var& x, const autograd::Var& h) const;
 
   /// Zero state [batch, n, hidden].
   autograd::Var InitialState(int64_t batch) const;
 
-  int64_t num_nodes() const { return op_->nodes(); }
+  int64_t num_nodes() const { return basis_->nodes(); }
   int64_t input_features() const { return input_features_; }
   int64_t hidden_features() const { return hidden_features_; }
-  const std::shared_ptr<const GraphOperator>& graph_op() const { return op_; }
+  const std::shared_ptr<const GraphBasis>& basis() const { return basis_; }
+  /// The primary operator (L̂ / forward diffusion); null for adaptive.
+  const std::shared_ptr<const GraphOperator>& graph_op() const {
+    return basis_->primary_op();
+  }
 
  private:
   friend class odf::serve::PlanCompiler;
 
   int64_t input_features_;
   int64_t hidden_features_;
-  int64_t order_;
-  std::shared_ptr<const GraphOperator> op_;
-  autograd::Var gates_theta_;  // [order·(F_in+H), 2H]: reset ∥ update
+  std::shared_ptr<const GraphBasis> basis_;
+  autograd::Var gates_theta_;  // [taps·(F_in+H), 2H]: reset ∥ update
   autograd::Var gates_bias_;   // [2H]
   ChebConv candidate_conv_;
 };
@@ -75,6 +85,13 @@ class Seq2SeqGcGru : public Module {
                int64_t hidden_size, int64_t order, Rng& rng,
                int64_t num_layers = 1);
 
+  /// Generalized form: all cells and the output head expand over `basis`.
+  /// The basis is registered as a submodule here (once), so its adaptive
+  /// embeddings — if any — checkpoint and train with the model; a
+  /// parameter-free Chebyshev basis leaves the PARM order untouched.
+  Seq2SeqGcGru(std::shared_ptr<GraphBasis> basis, int64_t feature_size,
+               int64_t hidden_size, Rng& rng, int64_t num_layers = 1);
+
   /// Maps `inputs` (each [B, n, F]) to `horizon` future elements.
   std::vector<autograd::Var> Forward(
       const std::vector<autograd::Var>& inputs, int64_t horizon) const;
@@ -82,6 +99,9 @@ class Seq2SeqGcGru : public Module {
   int64_t num_layers() const {
     return static_cast<int64_t>(encoder_layers_.size());
   }
+  /// The shared tap stack (mutable for per-interval operator swaps —
+  /// see GraphBasis::SetOperators and docs/graph_operators.md).
+  const std::shared_ptr<GraphBasis>& basis() const { return basis_; }
   const std::shared_ptr<const GraphOperator>& graph_op() const {
     return encoder_layers_.front()->graph_op();
   }
@@ -89,6 +109,7 @@ class Seq2SeqGcGru : public Module {
  private:
   friend class odf::serve::PlanCompiler;
 
+  std::shared_ptr<GraphBasis> basis_;
   std::vector<std::unique_ptr<GcGruCell>> encoder_layers_;
   std::vector<std::unique_ptr<GcGruCell>> decoder_layers_;
   std::unique_ptr<ChebConv> output_head_;

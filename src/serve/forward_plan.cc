@@ -486,6 +486,13 @@ void ForwardPlan::Exec(const Instr& ins, const std::vector<Tensor>& inputs) {
           bufs_[static_cast<size_t>(ins.srcs[2])].data());
       break;
     }
+    case OpKind::kGraphApply: {
+      // The same kernels ag::SpMM's forward dispatches to (tiled CSR SpMM /
+      // batched blocked GEMM), so the diffusion and adaptive tap chains
+      // match the tape bit for bit.
+      GraphApplyInto(*ins.graph, bufs_[static_cast<size_t>(ins.a)], &out);
+      break;
+    }
     case OpKind::kGraphPool: {
       const Tensor& x = bufs_[static_cast<size_t>(ins.a)];
       GraphPoolRaw(x.data(), x.dim(0), x.dim(1), x.dim(2), *ins.clusters,
@@ -671,6 +678,23 @@ void ForwardPlan::Exec64(const Instr& ins, const std::vector<Tensor>& inputs) {
           dbufs_[static_cast<size_t>(ins.srcs[0])].data(),
           dbufs_[static_cast<size_t>(ins.srcs[1])].data(),
           dbufs_[static_cast<size_t>(ins.srcs[2])].data());
+      break;
+    }
+    case OpKind::kGraphApply: {
+      const GraphData64* g = nullptr;
+      for (const GraphData64& cand : graph64_) {
+        if (cand.op == ins.graph.get()) {
+          g = &cand;
+          break;
+        }
+      }
+      ODF_CHECK(g != nullptr) << "fp64 plan missing graph snapshot";
+      const Tensor& x = meta(ins.a);
+      const CsrMatrix& csr = ins.graph->csr();
+      GraphApplyRaw64(g->dense.empty() ? nullptr : g->dense.data(),
+                      csr.row_ptr().data(), csr.col_idx().data(),
+                      g->csr_values.data(), csr.nnz(), x.dim(1), dat(ins.a),
+                      x.dim(0), x.dim(2), po);
       break;
     }
     case OpKind::kGraphPool: {
@@ -898,22 +922,162 @@ int32_t PlanCompiler::EmitChebTaps(
   return taps;
 }
 
+void PlanCompiler::EmitGraphApply(
+    const std::shared_ptr<const GraphOperator>& op, int32_t x, int32_t out) {
+  Instr& ins = Emit(OpKind::kGraphApply, out, ShapeOf(x));
+  ins.a = x;
+  ins.graph = op;
+  AddGraph(op);
+}
+
+// Mirrors GraphBasis::Stack — see nn/graph_basis.cc for the tape ops. The
+// tape's Sub(MulScalar(·, 2), prev2) recurrence combiner is replayed as
+// kMulScalar(2) + kMulScalar(−1) + kAdd, which is bitwise the same sum
+// (IEEE a − b ≡ a + (−1·b)); prev2 part buffers stay live for the final
+// concat, so the negation lands in a dedicated scratch buffer.
+int32_t PlanCompiler::EmitBasisTaps(const nn::GraphBasis& basis, int32_t x,
+                                    int32_t taps) {
+  if (basis.taps() == 1) return x;  // Stack returns its input verbatim
+  if (basis.kind() == nn::GraphOpKind::kChebyshev &&
+      basis.correlation_op() == nullptr) {
+    // Single-component Chebyshev keeps the fused wide-layout kernel — the
+    // exact legacy schedule, bit-identical to ChebyshevStack.
+    return EmitChebTaps(basis.primary_op(), x, basis.order(), taps);
+  }
+  const BufShape xs = ShapeOf(x);
+  ODF_CHECK_EQ(xs.tail.size(), 2u);
+  const int64_t n = xs.tail[0];
+  const int64_t f = xs.tail[1];
+  const BufShape part_shape{xs.mult, {n, f}};
+  const int64_t order = basis.order();
+  // Keyed by the taps buffer: one basis serves call sites of different
+  // feature widths (gate stack vs output head), which must not share parts.
+  std::vector<int32_t>& s = basis_scratch_[taps];
+  std::vector<int32_t> srcs;
+  switch (basis.kind()) {
+    case nn::GraphOpKind::kChebyshev: {
+      // Fused main component ∥ correlation tail (taps 2..order; tap 1 is
+      // the shared identity x), exactly the tape's part list.
+      const int64_t tail = order - 1;
+      if (s.empty()) {
+        s.push_back(NewBuf({xs.mult, {n, order * f}}));  // 0: fused main
+        for (int64_t i = 0; i <= tail; ++i) {
+          s.push_back(NewBuf(part_shape));  // 1..tail: parts; last: −prev2
+        }
+      }
+      EmitChebTaps(basis.primary_op(), x, order, s[0]);
+      srcs.push_back(s[0]);
+      const int32_t neg = s[static_cast<size_t>(tail) + 1];
+      EmitGraphApply(basis.correlation_op(), x, s[1]);
+      srcs.push_back(s[1]);
+      int32_t prev2 = x;
+      int32_t prev = s[1];
+      for (int64_t i = 2; i <= tail; ++i) {
+        const int32_t cur = s[static_cast<size_t>(i)];
+        EmitGraphApply(basis.correlation_op(), prev, cur);
+        Instr& twice = Emit(OpKind::kMulScalar, cur, part_shape);
+        twice.a = cur;
+        twice.scalar = 2.0f;
+        Instr& flip = Emit(OpKind::kMulScalar, neg, part_shape);
+        flip.a = prev2;
+        flip.scalar = -1.0f;
+        Instr& sub = Emit(OpKind::kAdd, cur, part_shape);
+        sub.a = cur;
+        sub.b = neg;
+        srcs.push_back(cur);
+        prev2 = prev;
+        prev = cur;
+      }
+      break;
+    }
+    case nn::GraphOpKind::kDiffusion: {
+      const int64_t powers = order - 1;
+      if (s.empty()) {
+        for (int64_t i = 0; i < 2 * powers; ++i) {
+          s.push_back(NewBuf(part_shape));
+        }
+      }
+      srcs.push_back(x);
+      int32_t prev = x;
+      for (int64_t k = 0; k < powers; ++k) {
+        EmitGraphApply(basis.primary_op(), prev, s[static_cast<size_t>(k)]);
+        prev = s[static_cast<size_t>(k)];
+        srcs.push_back(prev);
+      }
+      prev = x;
+      for (int64_t k = 0; k < powers; ++k) {
+        const int32_t cur = s[static_cast<size_t>(powers + k)];
+        EmitGraphApply(basis.secondary_op(), prev, cur);
+        prev = cur;
+        srcs.push_back(prev);
+      }
+      break;
+    }
+    case nn::GraphOpKind::kAdaptive: {
+      // The adjacency is frozen at compile time (weights are snapshots):
+      // softmax(relu(E_o·E_dᵀ)) computed with the tape's own kernels, then
+      // wrapped dense so kGraphApply runs the same BatchMatMul the tape's
+      // broadcast rank-2 BatchMatMul runs.
+      std::shared_ptr<const GraphOperator>& a_op = adaptive_ops_[&basis];
+      if (a_op == nullptr) {
+        a_op = GraphOperator::Make(basis.AdaptiveAdjacency(),
+                                   /*force_sparse=*/0);
+      }
+      const int64_t tail = order - 1;
+      if (s.empty()) {
+        for (int64_t i = 0; i <= tail; ++i) {
+          s.push_back(NewBuf(part_shape));  // 0..tail−1: parts; tail: −prev2
+        }
+      }
+      const int32_t neg = s[static_cast<size_t>(tail)];
+      srcs.push_back(x);
+      EmitGraphApply(a_op, x, s[0]);
+      srcs.push_back(s[0]);
+      int32_t prev2 = x;
+      int32_t prev = s[0];
+      for (int64_t i = 1; i < tail; ++i) {
+        const int32_t cur = s[static_cast<size_t>(i)];
+        EmitGraphApply(a_op, prev, cur);
+        Instr& twice = Emit(OpKind::kMulScalar, cur, part_shape);
+        twice.a = cur;
+        twice.scalar = 2.0f;
+        Instr& flip = Emit(OpKind::kMulScalar, neg, part_shape);
+        flip.a = prev2;
+        flip.scalar = -1.0f;
+        Instr& sub = Emit(OpKind::kAdd, cur, part_shape);
+        sub.a = cur;
+        sub.b = neg;
+        srcs.push_back(cur);
+        prev2 = prev;
+        prev = cur;
+      }
+      break;
+    }
+  }
+  Instr& cat = Emit(OpKind::kConcatN, taps,
+                    BufShape{xs.mult, {n, basis.taps() * f}});
+  cat.srcs = std::move(srcs);
+  cat.axis = 2;
+  return taps;
+}
+
 int32_t PlanCompiler::EmitChebConv(const nn::ChebConv& conv, int32_t x,
                                    int32_t out) {
   const BufShape xs = ShapeOf(x);
   ODF_CHECK_EQ(xs.tail.size(), 2u);
   ODF_CHECK_EQ(xs.tail[1], conv.in_features_);
   const BufShape os{xs.mult, {xs.tail[0], conv.out_features_}};
+  const nn::GraphBasis& basis = *conv.basis_;
   std::vector<int32_t>& s = Scratch(&conv);
   if (s.empty()) {
-    s.push_back(conv.order_ > 1
+    s.push_back(basis.taps() > 1
                     ? NewBuf({xs.mult,
-                              {xs.tail[0], conv.order_ * conv.in_features_}})
-                    : -1);      // 0: Chebyshev taps
+                              {xs.tail[0], basis.taps() * conv.in_features_}})
+                    : -1);      // 0: basis tap stack
     s.push_back(NewBuf(os));    // 1: basis · theta
     s.push_back(NewBuf(os));    // 2: + bias (when no explicit out)
   }
-  const int32_t taps = EmitChebTaps(conv.op_, x, conv.order_, s[0]);
+  const int32_t taps = EmitBasisTaps(basis, x, s[0]);
   if (!conv.with_bias_) {
     const int32_t dst = out >= 0 ? out : s[1];
     Instr& mm = Emit(OpKind::kBatchMatMulW, dst, os);
@@ -968,18 +1132,18 @@ int32_t PlanCompiler::EmitLinear(const nn::Linear& linear, int32_t x,
 // Mirrors GcGruCell::Step — see nn/gcgru.cc for the op sequence.
 void PlanCompiler::EmitGcGruStep(const nn::GcGruCell& cell, int32_t x,
                                  int32_t h) {
-  const int64_t n = cell.op_->nodes();
+  const nn::GraphBasis& basis = *cell.basis_;
+  const int64_t n = basis.nodes();
   const int64_t f = cell.input_features_;
   const int64_t hid = cell.hidden_features_;
-  const int64_t order = cell.order_;
   const BufShape hx_shape{1, {n, hid + f}};
   const BufShape gates_shape{1, {n, 2 * hid}};
   const BufShape h_shape{1, {n, hid}};
   std::vector<int32_t>& s = Scratch(&cell);
   if (s.empty()) {
     s.push_back(NewBuf(hx_shape));  // 0: [h, x] / [r ⊙ h, x]
-    s.push_back(order > 1 ? NewBuf({1, {n, order * (hid + f)}})
-                          : -1);    // 1: gate taps
+    s.push_back(basis.taps() > 1 ? NewBuf({1, {n, basis.taps() * (hid + f)}})
+                                 : -1);  // 1: gate taps
     s.push_back(NewBuf(gates_shape));  // 2: taps · theta
     s.push_back(NewBuf(gates_shape));  // 3: + bias
     s.push_back(NewBuf(h_shape));      // 4: reset / r ⊙ h
@@ -993,7 +1157,7 @@ void PlanCompiler::EmitGcGruStep(const nn::GcGruCell& cell, int32_t x,
     cat.b = x;
     cat.axis = 2;
   }
-  const int32_t taps = EmitChebTaps(cell.op_, s[0], order, s[1]);
+  const int32_t taps = EmitBasisTaps(basis, s[0], s[1]);
   {
     Instr& mm = Emit(OpKind::kBatchMatMulW, s[2], gates_shape);
     mm.a = taps;
@@ -1249,7 +1413,7 @@ PlanCompiler::SeqState PlanCompiler::EmitGcGruEncoder(
   const size_t layers = seq.encoder_layers_.size();
   for (size_t l = 0; l < layers; ++l) {
     const nn::GcGruCell& cell = *seq.encoder_layers_[l];
-    const BufShape h_shape{1, {cell.op_->nodes(), cell.hidden_features_}};
+    const BufShape h_shape{1, {cell.num_nodes(), cell.hidden_features_}};
     const int32_t h = NewBuf(h_shape);
     Emit(OpKind::kZero, h, h_shape);
     state.states.push_back(h);
@@ -1280,7 +1444,7 @@ std::vector<int32_t> PlanCompiler::EmitGcGruDecoder(
       layer_input = state.states[l];
     }
     const int32_t out =
-        NewBuf({1, {head.op_->nodes(), head.out_features_}});
+        NewBuf({1, {head.num_nodes(), head.out_features_}});
     EmitChebConv(head, state.states.back(), out);
     outputs.push_back(out);
     prev = out;

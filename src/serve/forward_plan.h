@@ -116,6 +116,8 @@ enum class OpKind : uint8_t {
   kPermute,            // out = Permute(a, perm)
   kChebBasis,          // out = ChebyshevBasis(graph, a, order); srcs[0..2]
                        //   are the shared wide-layout scratch buffers
+  kGraphApply,         // out = graph · a (one polynomial tap; diffusion and
+                       //   adaptive bases compose these — see EmitBasisTaps)
   kGraphPool,          // out = GraphPool(a, *clusters, pool)
   kRecover,            // out = FusedRecover(a, b, weights[w][0])
 };
@@ -276,6 +278,16 @@ class PlanCompiler {
   // -- module lowering (each mirrors the module's tape forward) ----------
   int32_t EmitChebTaps(const std::shared_ptr<const GraphOperator>& op,
                        int32_t x, int64_t order, int32_t taps);
+  /// GraphBasis::Stack on rank-3 `x` into `taps` [B, n, basis.taps()·F]. A
+  /// single-component Chebyshev basis takes the fused kChebBasis path
+  /// (bit-identical to the legacy schedule); every other basis composes
+  /// kGraphApply / kMulScalar / kAdd chains that replay the tape's ops
+  /// term for term. Adaptive bases snapshot softmax(relu(E_o·E_dᵀ)) at
+  /// compile time into a dense GraphOperator. Returns the taps buffer.
+  int32_t EmitBasisTaps(const nn::GraphBasis& basis, int32_t x, int32_t taps);
+  /// One kGraphApply instruction: out = op · x (shapes equal).
+  void EmitGraphApply(const std::shared_ptr<const GraphOperator>& op,
+                      int32_t x, int32_t out);
   /// ChebConv::Forward on rank-3 `x`; result lands in `out` when >= 0.
   int32_t EmitChebConv(const nn::ChebConv& conv, int32_t x, int32_t out);
   /// Linear::Forward on rank-2 `x`; result lands in `out` when >= 0.
@@ -314,6 +326,12 @@ class PlanCompiler {
   // Weight dedup: source parameter tensor -> snapshot index in weights_.
   std::map<const Tensor*, int32_t> weight_ids_;
   int32_t wide_scratch_[3] = {-1, -1, -1};
+  // Per-site part/negation buffers of the generic EmitBasisTaps path, keyed
+  // by the taps buffer id (one basis serves call sites of different feature
+  // widths, so per-basis keying would mix shapes).
+  std::map<int32_t, std::vector<int32_t>> basis_scratch_;
+  // Compile-time adaptive adjacency snapshots, one per GraphBasis.
+  std::map<const void*, std::shared_ptr<const GraphOperator>> adaptive_ops_;
 };
 
 }  // namespace odf::serve

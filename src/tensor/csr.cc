@@ -497,6 +497,41 @@ Tensor ChebyshevBasisGrad(const GraphOperator& op, const Tensor& grad,
   return gx;
 }
 
+void GraphApplyInto(const GraphOperator& op, const Tensor& x, Tensor* out) {
+  ODF_TRACE_SCOPE("kernel/", "graph_apply", "kernel");
+  ODF_CHECK_EQ(x.rank(), 3);
+  const int64_t batch = x.dim(0);
+  const int64_t n = x.dim(1);
+  const int64_t f = x.dim(2);
+  ODF_CHECK_EQ(n, op.nodes());
+  ODF_CHECK(out->shape() == x.shape());
+  if (op.use_sparse()) {
+    // Serial dispatch: the compiled serving path runs whole plans on one
+    // thread. Chunking never changes per-element sums (ascending column
+    // order), so this matches the tape's parallel odf::SpMM bit for bit.
+    SpmmTiled<SpmmEpilogue::kStore, /*kSerial=*/true>(
+        op.csr(), batch, f, x.data(), f, nullptr, 0, out->data(), f);
+  } else {
+    BatchMatMulInto(op.dense(), x, out);
+  }
+}
+
+void GraphApplyRaw64(const double* dense, const int64_t* row_ptr,
+                     const int32_t* col_idx, const double* values, int64_t nnz,
+                     int64_t n, const double* x, int64_t batch, int64_t f,
+                     double* out) {
+  if (dense != nullptr) {
+    std::fill(out, out + batch * n * f, 0.0);
+    for (int64_t b = 0; b < batch; ++b) {
+      GemmRawInto(dense, x + b * n * f, out + b * n * f, n, n, f);
+    }
+    return;
+  }
+  SpmmTiledRaw<SpmmEpilogue::kStore, /*kSerial=*/true>(
+      row_ptr, col_idx, values, n, n, nnz, batch, f, x, f,
+      static_cast<const double*>(nullptr), 0, out, f);
+}
+
 std::shared_ptr<const GraphOperator> GraphOperator::Make(Tensor dense,
                                                          int force_sparse) {
   ODF_CHECK_EQ(dense.rank(), 2);

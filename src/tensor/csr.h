@@ -114,6 +114,24 @@ void ChebyshevBasisWideRaw(const T* dense, const int64_t* row_ptr,
 Tensor ChebyshevBasisGrad(const GraphOperator& op, const Tensor& grad,
                           int64_t order);
 
+/// Single graph application op · x [B, n, F] into a preallocated [B, n, F]
+/// output — one polynomial tap of the compiled serving path (serve
+/// kGraphApply, used by the diffusion and adaptive bases). Runs the same
+/// per-element accumulation as ag::SpMM's forward (CSR tiled SpMM on the
+/// sparse path, batched blocked GEMM on the dense path), so results are
+/// bit-identical to the tape at every thread count.
+void GraphApplyInto(const GraphOperator& op, const Tensor& x, Tensor* out);
+
+/// Double-width GraphApplyInto over raw arrays for fp64 serving plans. The
+/// operator arrives as a snapshot: a non-null `dense` ([n, n] row-major)
+/// selects the per-batch blocked-GEMM path, otherwise the CSR triple
+/// row_ptr/col_idx/values drives the serial tiled SpMM. `x` is
+/// [batch, n, f] row-major, `out` likewise.
+void GraphApplyRaw64(const double* dense, const int64_t* row_ptr,
+                     const int32_t* col_idx, const double* values, int64_t nnz,
+                     int64_t n, const double* x, int64_t batch, int64_t f,
+                     double* out);
+
 /// A constant square matrix operand — the scaled graph Laplacian L̂ — held
 /// in both dense and CSR form (plus both transposes) behind one shared
 /// instance, with the compute path chosen once at construction. Every

@@ -73,8 +73,28 @@ namespace odf {
 //   ODF_SCENARIO_EPOCHS=<n>  training epochs for each learned model in
 //                    the sweep (default 8, or 2 with --smoke).
 //   ODF_SCENARIO_MODELS=<csv> comma-separated table columns, e.g.
-//                    "AF,BF,NH,VAR" (the default; --smoke uses "AF,NH").
-//                    Accepted names: AF, BF, MR, FC/RNN, GP, NH, VAR.
+//                    "AF,AFD,BF,NH,VAR" (the default; --smoke uses
+//                    "AF,NH").
+//                    Accepted names: AF, BF, MR, FC/RNN, GP, NH, VAR, and
+//                    AFD (the dynamic-graph AF: same training as AF, but
+//                    the harness rebuilds its GCGRU operators per interval
+//                    from Scenario::ProximityMatrixAt).
+//
+// Graph-operator knobs (docs/graph_operators.md):
+//   ODF_GRAPH_OP=cheb|diffusion|adaptive  default operator family of the
+//                    AF's forecasting-stage graph convolutions when the
+//                    caller doesn't set AdvancedFrameworkConfig::graph_op:
+//                    the paper's Chebyshev basis over L̂ (default), DCRNN
+//                    dual-direction diffusion, or ODCRN learned adaptive
+//                    adjacency softmax(relu(E_o·E_dᵀ)).
+//   ODF_GRAPHOPS_SEED=<n>    master seed of `bench_graphops` (default 7);
+//                    one value pins BENCH_graphops.json bit-for-bit at any
+//                    ODF_THREADS.
+//   ODF_GRAPHOPS_EPOCHS=<n>  training epochs per operator family in the
+//                    sweep (default 8, or 2 with --smoke).
+//   ODF_GRAPHOPS_MODES=<csv> operator families to sweep, a subset of
+//                    "cheb,cheb_corr,diffusion,adaptive" that must include
+//                    cheb (it anchors the static-vs-dynamic comparison).
 
 /// Returns the value of environment variable `name`, or `fallback` if unset.
 std::string GetEnvString(const char* name, const std::string& fallback);

@@ -1,0 +1,220 @@
+// Regression tests for the time-varying-graph hazards (ISSUE 10 bugfixes):
+//
+//  1. zero-degree rows — a region isolated by a road closure — never produce
+//     NaNs anywhere in the operator pipeline (normalized Laplacian, scaled
+//     Laplacian, random-walk transition, GCGRU forward);
+//  2. a degenerate λ_max (edgeless graph, single region) falls back to
+//     λ_max = 2 with a typed warning, observable through the
+//     ScaledLaplacianDegenerateFallbacks counter;
+//  3. the memoized operator factory never serves a stale operator: operators
+//     are frozen snapshots, a changed matrix builds a fresh one, and a
+//     revisited matrix cache-hits the original instance.
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "autograd/var.h"
+#include "graph/laplacian.h"
+#include "nn/gcgru.h"
+#include "nn/graph_basis.h"
+#include "sim/scenario.h"
+#include "sim/trip_generator.h"
+#include "tensor/tensor_ops.h"
+
+namespace odf {
+namespace {
+
+namespace ag = odf::autograd;
+
+bool AllFinite(const Tensor& t) {
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    if (!std::isfinite(t[i])) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------
+// Degenerate λ_max fallback (satellite 2).
+// ---------------------------------------------------------------------
+
+TEST(ScaledLaplacianTest, AllZeroGraphFallsBackToLambdaTwo) {
+  const Tensor w(Shape({4, 4}));  // edgeless: L = 0, λ_max = 0
+  const uint64_t before = ScaledLaplacianDegenerateFallbacks();
+  const Tensor l_hat = ScaledLaplacian(Laplacian(w));
+  EXPECT_EQ(ScaledLaplacianDegenerateFallbacks(), before + 1);
+  ASSERT_TRUE(AllFinite(l_hat));
+  // λ_max = 2 turns L̂ = 2·L/λ_max − I into exactly −I.
+  for (int64_t i = 0; i < 4; ++i) {
+    for (int64_t j = 0; j < 4; ++j) {
+      EXPECT_FLOAT_EQ(l_hat.At2(i, j), i == j ? -1.0f : 0.0f);
+    }
+  }
+}
+
+TEST(ScaledLaplacianTest, SingleRegionGraphIsFinite) {
+  const Tensor w(Shape({1, 1}));
+  const uint64_t before = ScaledLaplacianDegenerateFallbacks();
+  const Tensor l_hat = ScaledLaplacian(Laplacian(w));
+  EXPECT_EQ(ScaledLaplacianDegenerateFallbacks(), before + 1);
+  ASSERT_EQ(l_hat.numel(), 1);
+  EXPECT_FLOAT_EQ(l_hat.At2(0, 0), -1.0f);
+}
+
+TEST(ScaledLaplacianTest, HealthyGraphDoesNotTouchTheFallback) {
+  Tensor w(Shape({3, 3}));
+  w.At2(0, 1) = w.At2(1, 0) = 1.0f;
+  w.At2(1, 2) = w.At2(2, 1) = 0.5f;
+  const uint64_t before = ScaledLaplacianDegenerateFallbacks();
+  const Tensor l_hat = ScaledLaplacian(Laplacian(w));
+  EXPECT_EQ(ScaledLaplacianDegenerateFallbacks(), before);
+  EXPECT_TRUE(AllFinite(l_hat));
+}
+
+// ---------------------------------------------------------------------
+// Zero-degree rows (satellite 1).
+// ---------------------------------------------------------------------
+
+TEST(ZeroDegreeTest, NormalizedLaplacianGivesIsolatedRegionsIdentityRows) {
+  Tensor w(Shape({3, 3}));  // region 2 isolated
+  w.At2(0, 1) = w.At2(1, 0) = 2.0f;
+  const Tensor l = NormalizedLaplacian(w);
+  ASSERT_TRUE(AllFinite(l));
+  EXPECT_FLOAT_EQ(l.At2(2, 2), 1.0f);
+  EXPECT_FLOAT_EQ(l.At2(2, 0), 0.0f);
+  EXPECT_FLOAT_EQ(l.At2(2, 1), 0.0f);
+}
+
+TEST(ZeroDegreeTest, RandomWalkTransitionZeroesIsolatedRows) {
+  Tensor w(Shape({3, 3}));  // region 2 has no outgoing weight
+  w.At2(0, 1) = 3.0f;
+  w.At2(1, 0) = 1.0f;
+  w.At2(1, 2) = 1.0f;
+  const Tensor p = RandomWalkTransition(w);
+  ASSERT_TRUE(AllFinite(p));
+  // Connected rows are row-normalized...
+  EXPECT_FLOAT_EQ(p.At2(0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(p.At2(1, 0), 0.5f);
+  EXPECT_FLOAT_EQ(p.At2(1, 2), 0.5f);
+  // ...the zero-degree row is exactly zero, never NaN.
+  for (int64_t j = 0; j < 3; ++j) {
+    EXPECT_FLOAT_EQ(p.At2(2, j), 0.0f);
+  }
+}
+
+// A road closure that blockades a region zeroes its proximity row/column;
+// the whole operator pipeline — and a GCGRU step over it — must stay
+// finite. This is the production shape of the zero-degree hazard.
+TEST(ZeroDegreeTest, ClosureIsolatedRegionKeepsGcGruForwardFinite) {
+  const DatasetSpec spec = MakeNycLike(3, 3, /*num_days=*/1,
+                                       /*interval_minutes=*/60);
+  const int64_t n = spec.graph.size();
+  const ProximityParams params{1.0, 2.0};
+
+  Scenario scenario("blockade", /*seed=*/7);
+  RoadClosureConfig closure;
+  closure.closed_regions = {0};
+  closure.window = ScenarioWindow{0, 24};
+  scenario.AddRoadClosure(closure);
+
+  const Tensor w = scenario.ProximityMatrixAt(spec.graph, params, /*t=*/3);
+  ASSERT_EQ(w.dim(0), n);
+  for (int64_t j = 0; j < n; ++j) {
+    ASSERT_FLOAT_EQ(w.At2(0, j), 0.0f) << "blockaded row must be zeroed";
+    ASSERT_FLOAT_EQ(w.At2(j, 0), 0.0f) << "blockaded column must be zeroed";
+  }
+
+  // Every operator family built from the degenerate matrix is finite.
+  const auto cheb_op = MakeScaledLaplacianOperator(w);
+  EXPECT_TRUE(AllFinite(cheb_op->dense()));
+  const auto [fwd, bwd] = MakeDiffusionOperators(w);
+  EXPECT_TRUE(AllFinite(fwd->dense()));
+  EXPECT_TRUE(AllFinite(bwd->dense()));
+
+  // And a GCGRU step over each stays finite end to end.
+  Rng rng(11);
+  const Tensor x_val =
+      Tensor::RandomNormal(Shape({2, n, 3}), rng, 0.0f, 0.5f);
+  for (const auto& basis :
+       {nn::GraphBasis::Chebyshev(cheb_op, /*order=*/3),
+        nn::GraphBasis::Diffusion(fwd, bwd, /*order=*/3)}) {
+    Rng cell_rng(13);
+    nn::GcGruCell cell(basis, /*input_features=*/3, /*hidden_features=*/4,
+                       cell_rng);
+    const ag::Var h = cell.Step(ag::Var::Constant(x_val),
+                                cell.InitialState(/*batch=*/2));
+    EXPECT_TRUE(AllFinite(h.value()));
+  }
+}
+
+// ---------------------------------------------------------------------
+// Memoized factory staleness (satellite 3).
+// ---------------------------------------------------------------------
+
+TEST(OperatorMemoTest, RebuiltOperatorNeverServesStaleResult) {
+  Tensor w(Shape({3, 3}));
+  w.At2(0, 1) = w.At2(1, 0) = 1.0f;
+  w.At2(1, 2) = w.At2(2, 1) = 1.0f;
+  const auto first = MakeScaledLaplacianOperator(w);
+  const Tensor first_dense = first->dense();
+
+  // Mutating the caller's tensor after the fact must not corrupt the memo:
+  // the operator is a frozen snapshot and the key copied the old contents.
+  Tensor mutated = w;
+  mutated.At2(1, 2) = mutated.At2(2, 1) = 0.0f;  // closure removes the edge
+  const auto second = MakeScaledLaplacianOperator(mutated);
+  EXPECT_NE(second.get(), first.get())
+      << "a changed matrix must build a fresh operator";
+  bool differs = false;
+  for (int64_t i = 0; i < first_dense.numel() && !differs; ++i) {
+    differs = first_dense[i] != second->dense()[i];
+  }
+  EXPECT_TRUE(differs) << "rebuilt operator served the old matrix's L̂";
+
+  // The original operator is untouched by the rebuild...
+  for (int64_t i = 0; i < first_dense.numel(); ++i) {
+    ASSERT_EQ(first->dense()[i], first_dense[i]);
+  }
+  // ...and revisiting the original matrix (a closure that lifts)
+  // cache-hits the first instance.
+  const auto revisited = MakeScaledLaplacianOperator(w);
+  EXPECT_EQ(revisited.get(), first.get());
+}
+
+// SetOperators on a basis propagates the fresh operator to every consumer
+// immediately — no cell or head caches a stale pointer.
+TEST(OperatorMemoTest, BasisSwapPropagatesToSharedConsumers) {
+  Tensor w1(Shape({3, 3}));
+  w1.At2(0, 1) = w1.At2(1, 0) = 1.0f;
+  Tensor w2(Shape({3, 3}));
+  w2.At2(1, 2) = w2.At2(2, 1) = 1.0f;
+
+  Rng rng(5);
+  auto basis = nn::GraphBasis::Chebyshev(MakeScaledLaplacianOperator(w1), 2);
+  nn::GcGruCell cell(basis, /*input_features=*/2, /*hidden_features=*/2, rng);
+
+  const auto op1 = cell.graph_op();
+  basis->SetOperators(MakeScaledLaplacianOperator(w2));
+  EXPECT_NE(cell.graph_op().get(), op1.get());
+  EXPECT_EQ(cell.graph_op().get(), basis->primary_op().get());
+
+  // The swapped-in operator changes the numbers a step produces.
+  const Tensor x_val =
+      Tensor::RandomNormal(Shape({1, 3, 2}), rng, 0.0f, 0.5f);
+  const Tensor h2 = cell.Step(ag::Var::Constant(x_val),
+                              cell.InitialState(1)).value();
+  basis->SetOperators(MakeScaledLaplacianOperator(w1));
+  const Tensor h1 = cell.Step(ag::Var::Constant(x_val),
+                              cell.InitialState(1)).value();
+  ASSERT_EQ(h1.shape(), h2.shape());
+  bool differs = false;
+  for (int64_t i = 0; i < h1.numel() && !differs; ++i) {
+    differs = h1[i] != h2[i];
+  }
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace odf
